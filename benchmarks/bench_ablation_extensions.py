@@ -1,0 +1,120 @@
+"""Ablation benches for the paper's discussion / future-work items.
+
+* Radix (partitioned) join vs the no-partitioning join (Section 4.3
+  discussion): the radix join wins for a single large join but needs the
+  whole input up front.
+* Bit-packed compression (Section 5.5): how much scan traffic the SSB
+  columns would save.
+* Multi-GPU capacity planning (Section 5.5): how many GPUs SSB needs at
+  growing scale factors and the projected speedup.
+* Cost-based join ordering (Section 5.3): the planner picks the paper's
+  supplier-first plan for q2.1.
+"""
+
+import numpy as np
+
+from repro.analysis.capacity import MultiGPUConfig, gpus_needed, placement_advice
+from repro.analysis.report import format_table
+from repro.engine.planner import JoinOrderPlanner
+from repro.ops.cpu import cpu_hash_join_build, cpu_hash_join_probe, cpu_radix_join
+from repro.ssb import QUERIES, generate_ssb
+from repro.ssb.schema import ssb_table_rows
+from repro.storage.compression import BitPackedColumn
+
+
+def test_ablation_radix_vs_no_partitioning_join(run_once):
+    rng = np.random.default_rng(17)
+    build_rows, probe_rows = 1 << 16, 1 << 20
+    build_keys = np.arange(build_rows)
+    build_values = rng.integers(0, 1000, build_rows)
+    probe_keys = rng.integers(0, build_rows, probe_rows)
+    probe_values = rng.integers(0, 1000, probe_rows)
+
+    def build_rows_():
+        table, build_result = cpu_hash_join_build(build_keys, build_values)
+        no_partition = cpu_hash_join_probe(probe_keys, probe_values, table, "scalar")
+        radix = cpu_radix_join(build_keys, build_values, probe_keys, probe_values)
+        assert abs(no_partition.value - radix.value) < 1e-3
+        return [
+            {"algorithm": "no-partitioning join (build+probe)",
+             "ms": build_result.milliseconds + no_partition.milliseconds,
+             "pipelineable": "yes"},
+            {"algorithm": f"radix join ({int(radix.stat('radix_bits'))}-bit partitioning)",
+             "ms": radix.milliseconds,
+             "pipelineable": "no (needs full input)"},
+        ]
+
+    rows = run_once(build_rows_)
+    print("\nAblation -- partitioned (radix) join vs no-partitioning join, single join")
+    print(format_table(rows, floatfmt=".3f"))
+
+
+def test_ablation_compression(run_once):
+    db = generate_ssb(scale_factor=0.05, seed=5)
+
+    def build_rows_():
+        lineorder = db["lineorder"]
+        rows = []
+        for column_name in ("lo_discount", "lo_quantity", "lo_suppkey", "lo_orderdate"):
+            packed = BitPackedColumn.pack(lineorder.column(column_name))
+            rows.append(
+                {
+                    "column": column_name,
+                    "bit_width": packed.bit_width,
+                    "compression_ratio": packed.compression_ratio,
+                    "scan_speedup": packed.scan_speedup(),
+                }
+            )
+        return rows
+
+    rows = run_once(build_rows_)
+    print("\nAblation -- bit-packed compression of SSB fact columns (Section 5.5)")
+    print(format_table(rows, floatfmt=".2f"))
+    assert all(row["compression_ratio"] >= 1.0 for row in rows)
+    assert any(row["compression_ratio"] > 2.0 for row in rows)
+
+
+def test_ablation_multi_gpu_capacity(run_once):
+    def build_rows_():
+        rows = []
+        for scale_factor in (20, 100, 400, 1000):
+            # ~13 GB at SF 20 per the paper; scale linearly with the fact table.
+            dataset_bytes = 13 * 2**30 * ssb_table_rows("lineorder", scale_factor) / ssb_table_rows("lineorder", 20)
+            required = gpus_needed(dataset_bytes)
+            advice = placement_advice(dataset_bytes, available_gpus=8)
+            config = MultiGPUConfig(num_gpus=min(required, 8))
+            rows.append(
+                {
+                    "scale_factor": scale_factor,
+                    "dataset_gb": dataset_bytes / 2**30,
+                    "gpus_needed": required,
+                    "strategy_with_8_gpus": advice.strategy,
+                    "projected_speedup": config.speedup_over_cpu() if advice.strategy == "gpu-resident" else 1.0,
+                }
+            )
+        return rows
+
+    rows = run_once(build_rows_)
+    print("\nAblation -- multi-GPU capacity planning for growing SSB datasets (Section 5.5)")
+    print(format_table(rows, floatfmt=".1f"))
+    assert rows[0]["strategy_with_8_gpus"] == "gpu-resident"
+    assert rows[-1]["gpus_needed"] > 8
+
+
+def test_ablation_join_order_planner(run_once):
+    db = generate_ssb(scale_factor=0.05, seed=5)
+    planner = JoinOrderPlanner(db)
+
+    def build_rows_():
+        choices = planner.enumerate(QUERIES["q2.1"], fact_rows=120_000_000)
+        return [
+            {"join_order": " -> ".join(choice.join_order), "estimated_ms": choice.estimated_seconds * 1e3}
+            for choice in choices
+        ]
+
+    rows = run_once(build_rows_)
+    print("\nAblation -- cost-based join ordering for q2.1 (Section 5.3)")
+    print(format_table(rows, floatfmt=".2f"))
+    # The chosen plan applies a filtered dimension first, never the unfiltered date join.
+    assert not rows[0]["join_order"].startswith("date")
+    assert rows[0]["estimated_ms"] <= rows[-1]["estimated_ms"]

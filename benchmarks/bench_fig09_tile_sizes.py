@@ -1,0 +1,32 @@
+"""Figure 9 and Section 3.3: tile-size sweep and Crystal vs independent threads.
+
+Paper reference points: best performance at thread-block size 128/256 with
+4 items per thread; the tile-based kernel runs Q0 in 2.1 ms vs 19 ms for the
+independent-threads approach (N = 2^29, selectivity 0.5).
+"""
+
+from repro.analysis.experiments import run_figure9, run_sec33_tile_comparison
+from repro.analysis.report import format_series, format_table
+
+EXEC_N = 1 << 22
+
+
+def test_figure9_tile_size_sweep(run_once):
+    result = run_once(run_figure9, exec_n=EXEC_N)
+    series = result["series"]
+    print("\nFigure 9 -- Q0 runtime (simulated ms at N=2^29) by tile configuration")
+    print(format_series(series, x_name="thread_block_size"))
+
+    best = series["items_per_thread=4"]
+    # 4 items per thread dominates 1 item per thread everywhere.
+    assert all(best[block] <= series["items_per_thread=1"][block] for block in best)
+    # The sweet spot is at 128/256-thread blocks.
+    assert min(best, key=best.get) in (128, 256)
+
+
+def test_sec33_crystal_vs_independent_threads(run_once):
+    result = run_once(run_sec33_tile_comparison, exec_n=EXEC_N)
+    print("\nSection 3.3 -- Crystal vs independent-threads selection (N=2^29)")
+    print(format_table(result["rows"], floatfmt=".2f"))
+    independent, crystal = result["rows"]
+    assert independent["simulated_ms"] > crystal["simulated_ms"] * 3

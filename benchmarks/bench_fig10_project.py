@@ -1,0 +1,27 @@
+"""Figure 10: projection microbenchmark (Q1 linear combination, Q2 sigmoid).
+
+Paper reference points (N = 2^29 in the text): CPU 90.5 / 282.4 ms,
+CPU-Opt 64.0 / 69.6 ms, GPU 3.9 ms, with CPU-Opt / GPU ratios of 16.56 and
+17.95 -- i.e. the projection gain equals the bandwidth ratio.
+"""
+
+from repro.analysis.experiments import run_figure10
+from repro.analysis.report import format_table
+
+EXEC_N = 1 << 22
+
+
+def test_figure10_projection(run_once):
+    result = run_once(run_figure10, exec_n=EXEC_N)
+    rows = result["rows"]
+    print("\nFigure 10 -- projection microbenchmark (simulated ms at N=2^29)")
+    print(format_table(rows, floatfmt=".2f"))
+    print(f"bandwidth ratio: {result['bandwidth_ratio']:.1f}")
+
+    for row in rows:
+        assert row["cpu_ms"] >= row["cpu_opt_ms"] > row["gpu_ms"]
+        # The optimized CPU to GPU ratio tracks the bandwidth ratio.
+        assert abs(row["cpu_opt_over_gpu"] - result["bandwidth_ratio"]) / result["bandwidth_ratio"] < 0.35
+    q1, q2 = rows
+    # The naive CPU implementation is compute bound only for the sigmoid query.
+    assert q2["cpu_ms"] > q1["cpu_ms"]

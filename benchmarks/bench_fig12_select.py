@@ -1,0 +1,33 @@
+"""Figure 12: selection-scan microbenchmark across selectivities.
+
+Paper reference points (N = 2^29): CPU Pred beats CPU If except at
+selectivity 0; CPU SIMDPred tracks the bandwidth model; GPU If and GPU Pred
+are indistinguishable; the average CPU/GPU ratio is 15.8, close to the 16.2
+bandwidth ratio.
+"""
+
+from repro.analysis.experiments import run_figure12
+from repro.analysis.report import format_series
+from repro.hardware.presets import bandwidth_ratio
+
+EXEC_N = 1 << 22
+
+
+def test_figure12_selection_scan(run_once):
+    result = run_once(run_figure12, exec_n=EXEC_N)
+    series = result["series"]
+    print("\nFigure 12 -- selection microbenchmark (simulated ms at N=2^29)")
+    print(format_series(series, x_name="selectivity"))
+
+    selectivities = sorted(series["cpu_simd_pred"])
+    # Branching pays at intermediate selectivity.
+    assert series["cpu_if"][0.5] > series["cpu_pred"][0.5]
+    # SIMD selective stores are the fastest CPU variant everywhere.
+    for s in selectivities:
+        assert series["cpu_simd_pred"][s] <= series["cpu_pred"][s] * 1.01
+        assert series["gpu_if"][s] == series["gpu_pred"][s]
+    # Average CPU/GPU ratio close to the bandwidth ratio (paper: 15.8 vs 16.2).
+    ratios = [series["cpu_simd_pred"][s] / series["gpu_pred"][s] for s in selectivities]
+    average_ratio = sum(ratios) / len(ratios)
+    assert abs(average_ratio - bandwidth_ratio()) / bandwidth_ratio() < 0.4
+    print(f"average CPU SIMDPred / GPU ratio: {average_ratio:.1f} (bandwidth ratio {bandwidth_ratio():.1f})")

@@ -1,0 +1,35 @@
+"""Figure 14 and Section 4.4: radix partitioning and full radix sorts.
+
+Paper reference points: the histogram phase is bandwidth bound everywhere;
+the CPU shuffle stays bandwidth bound up to 8 radix bits and deteriorates
+beyond; GPU stable partitioning stops at 7 bits, unstable at 8; sorting 2^28
+key/value pairs takes 464 ms on the CPU and 27.08 ms on the GPU (a 17.1x
+gain, close to the bandwidth ratio).
+"""
+
+from repro.analysis.experiments import run_figure14
+from repro.analysis.report import format_series, format_table
+
+EXEC_N = 1 << 20
+
+
+def test_figure14_radix_partition_and_sort(run_once):
+    result = run_once(run_figure14, exec_n=EXEC_N)
+
+    print("\nFigure 14a -- radix histogram phase (simulated ms at 2^28 rows)")
+    print(format_series(result["histogram_series"], x_name="radix_bits"))
+    print("\nFigure 14b -- radix shuffle phase (simulated ms at 2^28 rows)")
+    print(format_series(result["shuffle_series"], x_name="radix_bits"))
+    print("\nSection 4.4 -- full radix sort of 2^28 key/value pairs")
+    print(format_table(result["full_sort_rows"], floatfmt=".1f"))
+
+    shuffle = result["shuffle_series"]
+    # CPU shuffle falls off the bandwidth plateau beyond 8 bits.
+    assert shuffle["cpu_stable"][11] > shuffle["cpu_stable"][8] * 1.2
+    # Stable GPU partitioning is capped at 7 bits, unstable at 8.
+    assert 8 not in shuffle["gpu_stable"] and 8 in shuffle["gpu_unstable"]
+    # Full-sort gain is in the vicinity of the bandwidth ratio (paper: 17.1x).
+    cpu_sort, gpu_sort = result["full_sort_rows"]
+    gain = cpu_sort["simulated_ms"] / gpu_sort["simulated_ms"]
+    assert 10 <= gain <= 25
+    print(f"sort gain: {gain:.1f}x (paper: 17.1x)")

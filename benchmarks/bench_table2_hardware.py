@@ -1,0 +1,16 @@
+"""Table 2: the hardware specification the whole evaluation runs on."""
+
+from repro.analysis.experiments import run_table2
+from repro.analysis.report import format_table
+
+
+def test_table2_hardware_specifications(run_once):
+    result = run_once(run_table2)
+    rows = result["rows"]
+    print("\nTable 2 -- hardware specifications (simulated platforms)")
+    print(format_table(rows, floatfmt=".1f"))
+
+    by_attribute = {row["attribute"]: row for row in rows}
+    assert by_attribute["read_bandwidth_gbps"]["cpu"] == 53.0
+    assert by_attribute["read_bandwidth_gbps"]["gpu"] == 880.0
+    assert 16.0 <= by_attribute["bandwidth_ratio"]["gpu"] <= 17.0

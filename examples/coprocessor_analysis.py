@@ -1,0 +1,70 @@
+"""Why the GPU-as-coprocessor design cannot win (Section 3.1).
+
+Walks through the paper's argument with the model: for a query that scans B
+bytes, an efficient CPU engine needs B / 53 GBps, while a coprocessor must
+first move B over a 12.8 GBps PCIe link -- so even with perfect overlap the
+coprocessor loses.  Then verifies the argument against the simulated engines
+on SSB q1.1.
+
+Run with::
+
+    python examples/coprocessor_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, scale_profile
+from repro.engine import CoprocessorEngine, CPUStandaloneEngine, GPUStandaloneEngine, execute_query
+from repro.hardware.presets import DEFAULT_PCIE, INTEL_I7_6900, NVIDIA_V100
+from repro.models.coprocessor import (
+    coprocessor_query_lower_bound,
+    coprocessor_vs_cpu_ratio,
+    cpu_query_upper_bound,
+)
+from repro.ssb import QUERIES, generate_ssb
+
+
+def model_walkthrough() -> None:
+    fact_rows = 120_000_000  # SSB SF 20
+    columns = 4              # q1.1 touches four 4-byte columns
+    total_bytes = fact_rows * 4 * columns
+
+    cpu_bound = cpu_query_upper_bound(total_bytes)
+    coprocessor_bound = coprocessor_query_lower_bound(total_bytes)
+
+    print("Model walkthrough for SSB q1.1 at SF 20")
+    print(f"  bytes scanned                : {total_bytes / 1e9:.2f} GB")
+    print(f"  CPU DRAM bandwidth           : {INTEL_I7_6900.dram_read_bandwidth / 1e9:.0f} GBps")
+    print(f"  GPU HBM bandwidth            : {NVIDIA_V100.global_read_bandwidth / 1e9:.0f} GBps")
+    print(f"  PCIe bandwidth               : {DEFAULT_PCIE / 1e9:.1f} GBps")
+    print(f"  CPU upper bound (one pass)   : {cpu_bound.milliseconds:.1f} ms")
+    print(f"  coprocessor lower bound      : {coprocessor_bound.milliseconds:.1f} ms")
+    print(f"  lower bound / upper bound    : {coprocessor_vs_cpu_ratio(total_bytes):.2f}x "
+          f"(> 1 means the CPU always wins)\n")
+
+
+def simulated_engines() -> None:
+    scale_factor = 0.05
+    db = generate_ssb(scale_factor=scale_factor, seed=42)
+    query = QUERIES["q1.1"]
+    _, profile = execute_query(db, query)
+    scaled = scale_profile(profile, scale_factor, 20.0)
+
+    rows = []
+    for engine in (CPUStandaloneEngine(db), GPUStandaloneEngine(db), CoprocessorEngine(db)):
+        rows.append({"engine": engine.name, "simulated_ms_at_sf20": engine.simulate(query, scaled).total_ms})
+    print("Simulated engines on q1.1 (SF 20)")
+    print(format_table(rows, floatfmt=".1f"))
+    print(
+        "\nThe coprocessor is PCIe bound and slower than the CPU; only the "
+        "GPU-resident design (Standalone GPU) realizes the bandwidth advantage."
+    )
+
+
+def main() -> None:
+    model_walkthrough()
+    simulated_engines()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Build a custom fused query kernel from Crystal block-wide functions.
+
+This mirrors Figure 7(b) of the paper: a selection with two conjunctive
+predicates followed by an aggregation, written as ordinary Python around the
+Crystal primitives, executing as a single fused "kernel" that reads each
+input column exactly once.
+
+Run with::
+
+    python examples/crystal_custom_kernel.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crystal import (
+    BlockContext,
+    CrystalKernel,
+    Tile,
+    block_aggregate,
+    block_load,
+    block_load_sel,
+    block_pred,
+    block_pred_and,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n = 1 << 20
+    quantity = rng.integers(1, 51, n).astype(np.int32)
+    discount = rng.integers(0, 11, n).astype(np.int32)
+    extendedprice = rng.integers(1, 1000, n).astype(np.int32)
+
+    # SELECT SUM(extendedprice * discount)
+    # WHERE quantity < 25 AND discount BETWEEN 1 AND 3
+    def body(ctx: BlockContext) -> float:
+        qty_tile = block_load(ctx, quantity)
+        qty_tile = block_pred(ctx, qty_tile, lambda v: v < 25)
+
+        disc_tile = block_load(ctx, discount)
+        disc_tile = disc_tile.with_bitmap(qty_tile.bitmap)
+        disc_tile = block_pred_and(ctx, disc_tile, lambda v: (v >= 1) & (v <= 3))
+
+        # Only rows that passed both predicates are fetched from the price
+        # column (BlockLoadSel), so the kernel's traffic shrinks with the
+        # selectivity -- the effect the SSB q1.x kernels rely on.
+        price_tile = block_load_sel(ctx, extendedprice, disc_tile.bitmap)
+        revenue = price_tile.values.astype(np.int64) * discount.astype(np.int64)
+        revenue_tile = Tile(values=revenue, bitmap=disc_tile.bitmap)
+        return block_aggregate(ctx, revenue_tile, op="sum", counter_name="revenue")
+
+    kernel = CrystalKernel(body, threads_per_block=128, items_per_thread=4, label="q1-style")
+    result = kernel.run()
+
+    expected_mask = (quantity < 25) & (discount >= 1) & (discount <= 3)
+    expected = float(np.sum(extendedprice[expected_mask].astype(np.int64) * discount[expected_mask]))
+
+    print(f"kernel result          : {result.value:,.0f}")
+    print(f"NumPy reference        : {expected:,.0f}")
+    print(f"match                  : {result.value == expected}")
+    print(f"simulated GPU runtime  : {result.milliseconds:.4f} ms")
+    print(f"achieved occupancy     : {result.execution.occupancy:.2f}")
+    print(f"bytes read from memory : {result.traffic.sequential_read_bytes / 1e6:.1f} MB "
+          f"(of {3 * quantity.nbytes / 1e6:.1f} MB of raw columns)")
+
+
+if __name__ == "__main__":
+    main()

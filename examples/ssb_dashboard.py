@@ -1,0 +1,73 @@
+"""Run the full Star Schema Benchmark on every engine and project to SF 20.
+
+Reproduces the Figure 16 comparison (Hyper, Standalone CPU, OmniSci,
+Standalone GPU), the Figure 3 coprocessor comparison, and the Table 3 cost
+analysis in one go.
+
+Run with::
+
+    python examples/ssb_dashboard.py [scale_factor]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import cost_comparison, format_table, scale_profile
+from repro.engine import (
+    CoprocessorEngine,
+    CPUStandaloneEngine,
+    GPUStandaloneEngine,
+    HyperLikeEngine,
+    MonetDBLikeEngine,
+    OmnisciLikeEngine,
+    execute_query,
+)
+from repro.ssb import QUERIES, generate_ssb
+from repro.ssb.queries import QUERY_ORDER
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    target_sf = 20.0
+    print(f"executing at SF {scale_factor:g}, reporting simulated runtimes at SF {target_sf:g}\n")
+
+    db = generate_ssb(scale_factor=scale_factor, seed=42)
+    engines = {
+        "hyper": HyperLikeEngine(db),
+        "standalone_cpu": CPUStandaloneEngine(db),
+        "monetdb": MonetDBLikeEngine(db),
+        "coprocessor": CoprocessorEngine(db),
+        "omnisci": OmnisciLikeEngine(db),
+        "standalone_gpu": GPUStandaloneEngine(db),
+    }
+
+    rows = []
+    for name in QUERY_ORDER:
+        query = QUERIES[name]
+        _, profile = execute_query(db, query)
+        scaled = scale_profile(profile, scale_factor, target_sf)
+        row = {"query": name}
+        for engine_name, engine in engines.items():
+            row[engine_name] = engine.simulate(query, scaled).total_ms
+        row["cpu/gpu"] = row["standalone_cpu"] / row["standalone_gpu"]
+        rows.append(row)
+
+    mean = {"query": "mean"}
+    for key in rows[0]:
+        if key != "query":
+            mean[key] = sum(row[key] for row in rows) / len(rows)
+    rows.append(mean)
+
+    print("SSB simulated runtimes (ms) per engine")
+    print(format_table(rows, floatfmt=".2f"))
+
+    speedup = mean["cpu/gpu"]
+    costs = cost_comparison(speedup)
+    print(f"\nmean Standalone GPU speedup over Standalone CPU: {speedup:.1f}x")
+    print(f"renting cost ratio (GPU/CPU): {costs.rent_cost_ratio:.1f}x")
+    print(f"cost effectiveness of the GPU platform: {costs.rent_cost_effectiveness:.1f}x (paper: ~4x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that ``pip install -e .`` keeps working on environments whose setuptools
+lacks PEP 660 editable-wheel support (e.g. offline machines without the
+``wheel`` package), via the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

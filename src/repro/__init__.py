@@ -1,0 +1,38 @@
+"""repro: a reproduction of the SIGMOD 2020 GPU-vs-CPU database analytics study.
+
+The package reimplements, in pure Python on simulated hardware, the systems
+built and evaluated by Shanbhag, Madden, and Yu in *A Study of the
+Fundamental Performance Characteristics of GPUs and CPUs for Database
+Analytics*:
+
+* :mod:`repro.crystal` -- the Crystal library of block-wide functions and
+  the tile-based execution model (the paper's primary contribution).
+* :mod:`repro.ops` -- CPU and GPU implementations of project, select, hash
+  join, and radix sort/partitioning in the algorithm variants of Section 4.
+* :mod:`repro.models` -- the analytic cost models of Sections 4 and 5.3.
+* :mod:`repro.ssb` -- a Star Schema Benchmark data generator and the 13
+  benchmark queries.
+* :mod:`repro.engine` -- full-query engines: Standalone CPU, Standalone GPU
+  (Crystal), GPU-as-coprocessor, and calibrated Hyper/MonetDB/OmniSci-like
+  baselines.
+* :mod:`repro.hardware` / :mod:`repro.sim` -- the simulated Intel i7-6900 and
+  Nvidia V100 platforms all timings are reported on.
+* :mod:`repro.analysis` -- the experiment registry that regenerates every
+  figure and table of the paper's evaluation, plus the Table 3 cost model.
+
+Quickstart::
+
+    from repro.ssb import generate_ssb
+    from repro.engine import CPUStandaloneEngine, GPUStandaloneEngine
+    from repro.ssb.queries import QUERIES
+
+    db = generate_ssb(scale_factor=0.01, seed=42)
+    cpu = CPUStandaloneEngine(db)
+    gpu = GPUStandaloneEngine(db)
+    result = gpu.run(QUERIES["q2.1"])
+    print(result.simulated_ms, result.rows)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,81 @@
+"""Dollar-cost comparison of the CPU and GPU platforms (Table 3, Section 5.4).
+
+The paper argues that although the GPU platform costs roughly 6x more to
+rent (and somewhat less than 6x more to buy), its ~25x higher performance on
+the SSB makes it about 4x more cost effective for analytics whose working
+set fits in GPU memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.presets import AWS_P3_2XLARGE, AWS_R5_2XLARGE
+from repro.hardware.specs import InstancePricing
+
+
+@dataclass(frozen=True)
+class CostComparison:
+    """Outcome of the cost-effectiveness calculation."""
+
+    cpu_pricing: InstancePricing
+    gpu_pricing: InstancePricing
+    performance_ratio: float
+    rent_cost_ratio: float
+    purchase_cost_ratio: float
+    rent_cost_effectiveness: float
+    purchase_cost_effectiveness: float
+
+    def as_rows(self) -> list[dict]:
+        """Rows for tabular reporting (mirrors Table 3 plus the derived ratios)."""
+        return [
+            {
+                "platform": "CPU",
+                "instance": self.cpu_pricing.name,
+                "rent_usd_per_hour": self.cpu_pricing.rent_usd_per_hour,
+                "purchase_usd": self.cpu_pricing.purchase_usd_mid,
+            },
+            {
+                "platform": "GPU",
+                "instance": self.gpu_pricing.name,
+                "rent_usd_per_hour": self.gpu_pricing.rent_usd_per_hour,
+                "purchase_usd": self.gpu_pricing.purchase_usd_mid,
+            },
+            {
+                "platform": "GPU / CPU",
+                "instance": "ratios",
+                "rent_usd_per_hour": self.rent_cost_ratio,
+                "purchase_usd": self.purchase_cost_ratio,
+            },
+        ]
+
+
+def cost_comparison(
+    performance_ratio: float,
+    cpu_pricing: InstancePricing = AWS_R5_2XLARGE,
+    gpu_pricing: InstancePricing = AWS_P3_2XLARGE,
+) -> CostComparison:
+    """Compute cost ratios and cost effectiveness for a measured speedup.
+
+    Args:
+        performance_ratio: GPU-over-CPU speedup on the workload (the paper's
+            SSB average is ~25x).
+        cpu_pricing / gpu_pricing: Platform pricing (defaults are Table 3).
+
+    Returns:
+        A :class:`CostComparison`; ``rent_cost_effectiveness`` above 1 means
+        the GPU does more work per dollar than the CPU when renting.
+    """
+    if performance_ratio <= 0:
+        raise ValueError("performance ratio must be positive")
+    rent_ratio = gpu_pricing.rent_usd_per_hour / cpu_pricing.rent_usd_per_hour
+    purchase_ratio = gpu_pricing.purchase_usd_mid / cpu_pricing.purchase_usd_mid
+    return CostComparison(
+        cpu_pricing=cpu_pricing,
+        gpu_pricing=gpu_pricing,
+        performance_ratio=performance_ratio,
+        rent_cost_ratio=rent_ratio,
+        purchase_cost_ratio=purchase_ratio,
+        rent_cost_effectiveness=performance_ratio / rent_ratio,
+        purchase_cost_effectiveness=performance_ratio / purchase_ratio,
+    )

@@ -1,0 +1,70 @@
+"""CSV export of experiment results.
+
+The benchmark harness prints its regenerated tables; downstream users who
+want to re-plot the paper's figures need the raw series in a machine-readable
+form.  :func:`export_rows` and :func:`export_series` write the structures
+returned by the ``run_*`` functions of :mod:`repro.analysis.experiments` to
+CSV files, and :func:`export_experiment` dispatches on whichever keys the
+result dictionary carries.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+
+def export_rows(rows: list[dict], path: str | Path) -> Path:
+    """Write a list of row dictionaries to ``path`` as CSV."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def export_series(series: dict[str, dict], path: str | Path, x_name: str = "x") -> Path:
+    """Write ``{series name: {x: y}}`` to ``path`` as a wide CSV table."""
+    path = Path(path)
+    xs = sorted({x for values in series.values() for x in values})
+    columns = [x_name, *series.keys()]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for x in xs:
+            writer.writerow([x] + [series[name].get(x, "") for name in series])
+    return path
+
+
+def export_experiment(result: dict, directory: str | Path, name: str) -> list[Path]:
+    """Export every rows/series payload in an experiment result.
+
+    Returns the list of files written.  File names are derived from ``name``
+    and the payload key (``<name>.csv`` for the primary payload,
+    ``<name>_<key>.csv`` for additional ones such as Figure 14's histogram
+    and shuffle series).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    x_name = result.get("x", "x")
+    for key, payload in result.items():
+        if key == "rows" and isinstance(payload, list):
+            written.append(export_rows(payload, directory / f"{name}.csv"))
+        elif key == "series" and isinstance(payload, dict):
+            written.append(export_series(payload, directory / f"{name}.csv", x_name))
+        elif key.endswith("_rows") and isinstance(payload, list):
+            written.append(export_rows(payload, directory / f"{name}_{key[:-5]}.csv"))
+        elif key.endswith("_series") and isinstance(payload, dict):
+            written.append(export_series(payload, directory / f"{name}_{key[:-7]}.csv", x_name))
+    return written

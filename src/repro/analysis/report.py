@@ -1,0 +1,39 @@
+"""Plain-text formatting helpers for experiment output."""
+
+from __future__ import annotations
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None, floatfmt: str = ".3f") -> str:
+    """Format a list of dicts as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    rendered = [[cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered)) for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join("  ".join(line[i].rjust(widths[i]) for i in range(len(columns))) for line in rendered)
+    return "\n".join([header, separator, body])
+
+
+def format_series(series: dict[str, dict], x_name: str = "x", floatfmt: str = ".3f") -> str:
+    """Format ``{series name: {x: y}}`` as a table with one column per series."""
+    if not series:
+        return "(no series)"
+    xs: list = sorted({x for values in series.values() for x in values})
+    rows = []
+    for x in xs:
+        row = {x_name: x}
+        for name, values in series.items():
+            row[name] = values.get(x, float("nan"))
+        rows.append(row)
+    return format_table(rows, columns=[x_name, *series.keys()], floatfmt=floatfmt)

@@ -1,0 +1,61 @@
+"""Crystal: a library of block-wide functions for tile-based query execution.
+
+This package is the reproduction of the paper's primary contribution
+(Section 3.3, Table 1).  In the tile-based execution model a thread block is
+the unit of execution: it loads a *tile* of items from global memory into
+shared memory / registers, and all subsequent steps of the (fused) query
+kernel operate on the staged tile, so the input is read from global memory
+exactly once and the output is written back coalesced.
+
+Each *block-wide function* takes a set of tiles as input and produces a set
+of tiles as output.  In this Python reproduction the functions operate on
+NumPy arrays (a "set of tiles" is simply an array whose logical tiling is
+defined by the kernel's launch configuration) and simultaneously charge the
+memory traffic, shared-memory movement, barriers, and atomics that the CUDA
+implementation would incur to the enclosing :class:`~repro.crystal.context.
+BlockContext`.  The GPU simulator then turns that charge sheet into
+simulated time on the paper's V100.
+
+The full set of primitives from Table 1 is provided:
+
+====================  =====================================================
+Primitive             Description
+====================  =====================================================
+``block_load``        Copy a tile from global memory into the block.
+``block_load_sel``    Selectively load entries that pass an earlier bitmap.
+``block_store``       Write a tile back to global memory (coalesced).
+``block_pred``        Evaluate a predicate over a tile into a bitmap.
+``block_pred_and``    AND a new predicate into an existing bitmap.
+``block_scan``        Block-wide exclusive prefix sum (returns the total).
+``block_shuffle``     Compact matched entries into a contiguous tile.
+``block_lookup``      Probe a hash table for a tile of keys.
+``block_aggregate``   Hierarchical reduction of a tile to one value.
+====================  =====================================================
+"""
+
+from repro.crystal.aggregate import block_aggregate
+from repro.crystal.context import BlockContext
+from repro.crystal.kernel import CrystalKernel, KernelResult
+from repro.crystal.load import block_load, block_load_sel
+from repro.crystal.lookup import block_lookup
+from repro.crystal.pred import block_pred, block_pred_and
+from repro.crystal.scan import block_scan
+from repro.crystal.shuffle import block_shuffle
+from repro.crystal.store import block_store
+from repro.crystal.tile import Tile
+
+__all__ = [
+    "BlockContext",
+    "CrystalKernel",
+    "KernelResult",
+    "Tile",
+    "block_aggregate",
+    "block_load",
+    "block_load_sel",
+    "block_lookup",
+    "block_pred",
+    "block_pred_and",
+    "block_scan",
+    "block_shuffle",
+    "block_store",
+]

@@ -1,0 +1,73 @@
+"""Block-wide aggregation: ``block_aggregate``.
+
+Hierarchically reduces a tile to a single value per thread block (sum, min,
+max, or count).  The per-block partial results are then combined into a
+single global value with one atomic update per tile -- the pattern the GPU
+join microbenchmark (Q4) and all SSB aggregate queries use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crystal.context import BlockContext
+from repro.crystal.tile import Tile
+
+_REDUCERS = {
+    "sum": np.sum,
+    "min": np.min,
+    "max": np.max,
+    "count": lambda values: np.asarray(values).shape[0],
+}
+
+
+def block_aggregate(
+    ctx: BlockContext,
+    tile: Tile,
+    op: str = "sum",
+    update_global: bool = True,
+    counter_name: str = "aggregate",
+) -> float:
+    """Reduce a tile's matched entries to one value.
+
+    Args:
+        ctx: The enclosing kernel's block context.
+        tile: The tile to reduce; when it carries a bitmap only matched
+            entries participate.
+        op: One of ``"sum"``, ``"min"``, ``"max"``, ``"count"``.
+        update_global: When True (the default) the block's partial result is
+            folded into a global accumulator via one atomic update per tile.
+        counter_name: Name of the global accumulator in ``ctx.counters``.
+
+    Returns:
+        The reduction over all tiles handled by this call (a float so that
+        sums of int64 columns do not silently wrap).
+    """
+    if op not in _REDUCERS:
+        raise ValueError(f"unsupported aggregate {op!r}; expected one of {sorted(_REDUCERS)}")
+    values = tile.matched_values()
+    if values.shape[0] == 0:
+        result = 0.0
+    else:
+        result = float(_REDUCERS[op](values.astype(np.float64) if op != "count" else values))
+
+    # The hierarchical reduction stages one partial per warp through shared
+    # memory and needs a barrier between the two reduction levels.
+    ctx.charge_shared(tile.values.shape[0] * 4)
+    ctx.charge_compute(tile.values.shape[0])
+    ctx.charge_barrier(1)
+
+    if update_global:
+        num_tiles = max(ctx.num_tiles(tile.values.shape[0]), 1)
+        ctx.charge_atomic(num_tiles, num_targets=1)
+        if op == "sum" or op == "count":
+            ctx.counters[counter_name] = ctx.counters.get(counter_name, 0) + result
+        else:
+            previous = ctx.counters.get(counter_name)
+            if previous is None:
+                ctx.counters[counter_name] = result
+            else:
+                ctx.counters[counter_name] = (
+                    min(previous, result) if op == "min" else max(previous, result)
+                )
+    return result

@@ -1,0 +1,72 @@
+"""Block-wide load primitives: ``block_load`` and ``block_load_sel``.
+
+``block_load`` copies a tile of items from global memory into the thread
+block (vectorized 128-bit loads for full tiles, element-at-a-time for the
+tail tile).  ``block_load_sel`` loads only the entries that passed an
+earlier predicate, given its bitmap -- the block still reserves space for a
+full tile, but only the matched entries are fetched from global memory,
+which is what makes multi-predicate kernels cheaper than re-scanning
+(Figure 7(b)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crystal.context import BlockContext
+from repro.crystal.tile import Tile
+
+
+def block_load(ctx: BlockContext, column: np.ndarray, in_registers: bool = True) -> Tile:
+    """Load a set of tiles (a full column slice) from global memory.
+
+    Args:
+        ctx: The enclosing kernel's block context.
+        column: The column data in global memory.
+        in_registers: Stage the values in registers rather than shared
+            memory (the Crystal optimization for statically-indexed tiles).
+
+    Returns:
+        A tile holding a copy of ``column``.
+    """
+    column = np.asarray(column)
+    ctx.observe_items(column.shape[0])
+    ctx.charge_global_read(column.nbytes)
+    if not in_registers:
+        ctx.charge_shared(column.nbytes)
+    return Tile(values=column.copy(), in_registers=in_registers)
+
+
+def block_load_sel(
+    ctx: BlockContext,
+    column: np.ndarray,
+    bitmap: np.ndarray,
+    in_registers: bool = True,
+) -> Tile:
+    """Selectively load entries whose ``bitmap`` entry is set.
+
+    Only the matched entries are read from global memory; the hardware still
+    moves whole 32-byte sectors, so the charge is the smaller of the full
+    column and one sector per matched entry (a selective load cannot cost
+    more than a full load).
+
+    The returned tile has the same length as ``column`` with unmatched
+    positions zeroed, and carries ``bitmap`` so later primitives know which
+    lanes are valid.
+    """
+    column = np.asarray(column)
+    bitmap = np.asarray(bitmap, dtype=bool)
+    if bitmap.shape[0] != column.shape[0]:
+        raise ValueError("bitmap length must match column length")
+    ctx.observe_items(column.shape[0])
+
+    matched = int(np.count_nonzero(bitmap))
+    sector_bytes = 32
+    full_cost = float(column.nbytes)
+    selective_cost = matched * float(sector_bytes)
+    ctx.charge_global_read(min(full_cost, selective_cost))
+
+    values = np.where(bitmap, column, 0).astype(column.dtype, copy=False)
+    if not in_registers:
+        ctx.charge_shared(column.nbytes)
+    return Tile(values=values, bitmap=bitmap, in_registers=in_registers)

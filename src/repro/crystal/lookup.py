@@ -1,0 +1,68 @@
+"""Block-wide hash-table probe: ``block_lookup``.
+
+Probes a hash table for every (valid) key in a tile.  The probes are random
+accesses into the hash table's storage, so the traffic charged depends on
+the hash-table size: the enclosing GPU simulator services it from L1/L2 when
+the table is cache resident and from global memory otherwise -- exactly the
+behaviour the join model of Section 4.3 and the query model of Section 5.3
+are built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crystal.context import BlockContext
+from repro.crystal.tile import Tile
+
+
+def block_lookup(
+    ctx: BlockContext,
+    keys: Tile,
+    hash_table,
+    bitmap: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Probe ``hash_table`` with the keys of a tile.
+
+    Args:
+        ctx: The enclosing kernel's block context.
+        keys: Tile of probe keys.
+        hash_table: Any object exposing ``probe(keys) -> (found, values)``
+            and ``size_bytes`` / ``slot_bytes`` attributes (see
+            :class:`repro.ops.hash_table.LinearProbingHashTable`).
+        bitmap: Optional mask restricting which lanes are probed (lanes that
+            failed earlier predicates are skipped, as in the SSB kernels).
+
+    Returns:
+        ``(found, values)`` arrays aligned with the tile: ``found`` is a
+        boolean mask of keys present in the table, ``values`` the matching
+        payloads (zero where not found or not probed).
+    """
+    key_values = keys.valid_values()
+    n = keys.values.shape[0]
+
+    effective_mask = np.ones(keys.size, dtype=bool)
+    if keys.bitmap is not None:
+        effective_mask &= keys.bitmap[: keys.size]
+    if bitmap is not None:
+        bitmap = np.asarray(bitmap, dtype=bool)
+        if bitmap.shape[0] < keys.size:
+            raise ValueError("bitmap shorter than the tile's valid size")
+        effective_mask &= bitmap[: keys.size]
+
+    probe_keys = key_values[effective_mask]
+    found_local, values_local = hash_table.probe(probe_keys)
+
+    found = np.zeros(n, dtype=bool)
+    values = np.zeros(n, dtype=values_local.dtype if values_local.size else np.int64)
+    idx = np.flatnonzero(effective_mask)
+    found[idx] = found_local
+    values[idx] = values_local
+
+    ctx.charge_random(
+        num_accesses=float(probe_keys.shape[0]),
+        working_set_bytes=float(hash_table.size_bytes),
+        access_bytes=float(getattr(hash_table, "slot_bytes", 8)),
+    )
+    ctx.charge_compute(probe_keys.shape[0])
+    return found, values

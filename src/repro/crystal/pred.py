@@ -1,0 +1,57 @@
+"""Block-wide predicate primitives: ``block_pred`` and ``block_pred_and``.
+
+``block_pred`` evaluates a predicate over every item of a tile and produces
+a bitmap; ``block_pred_and`` folds an additional predicate into an existing
+bitmap (used when a query has several conjunctive selections, Figure 7(b)).
+Both operate on register-resident values and therefore generate no memory
+traffic beyond the compute itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.crystal.context import BlockContext
+from repro.crystal.tile import Tile
+
+Predicate = Callable[[np.ndarray], np.ndarray]
+
+
+def _evaluate(predicate: Predicate, values: np.ndarray) -> np.ndarray:
+    result = np.asarray(predicate(values))
+    if result.dtype != np.bool_:
+        result = result.astype(bool)
+    if result.shape != values.shape:
+        raise ValueError("predicate must return one boolean per input item")
+    return result
+
+
+def block_pred(ctx: BlockContext, tile: Tile, predicate: Predicate) -> Tile:
+    """Evaluate ``predicate`` over a tile and attach the resulting bitmap."""
+    bitmap = _evaluate(predicate, tile.values)
+    if tile.size < tile.values.shape[0]:
+        # Lanes beyond the valid size of a partial tile never match.
+        bitmap = bitmap.copy()
+        bitmap[tile.size :] = False
+    ctx.charge_compute(tile.size)
+    return tile.with_bitmap(bitmap)
+
+
+def block_pred_and(ctx: BlockContext, tile: Tile, predicate: Predicate) -> Tile:
+    """AND ``predicate`` into the tile's existing bitmap.
+
+    Only lanes that are still set are evaluated (the others are already
+    excluded), mirroring the short-circuit behaviour of the CUDA
+    implementation.
+    """
+    if tile.bitmap is None:
+        return block_pred(ctx, tile, predicate)
+    new_bits = _evaluate(predicate, tile.values)
+    bitmap = tile.bitmap & new_bits
+    if tile.size < tile.values.shape[0]:
+        bitmap = bitmap.copy()
+        bitmap[tile.size :] = False
+    ctx.charge_compute(int(np.count_nonzero(tile.bitmap)))
+    return tile.with_bitmap(bitmap)

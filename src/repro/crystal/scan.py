@@ -1,0 +1,58 @@
+"""Block-wide prefix sum: ``block_scan``.
+
+Co-operatively computes an exclusive prefix sum across a tile (per the
+hierarchical block-wide scan of Harris et al. that the CUDA implementation
+uses) and returns both the per-item offsets and the per-tile totals.  The
+offsets tell every thread where inside the block's output region its matched
+entries belong; the total is what thread 0 adds to the global atomic cursor.
+
+The scan requires threads to see each other's counts, so the bitmap is
+staged through shared memory and two barriers are charged per tile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crystal.context import BlockContext
+from repro.crystal.tile import Tile
+
+
+def block_scan(ctx: BlockContext, tile: Tile) -> tuple[np.ndarray, np.ndarray, int]:
+    """Exclusive prefix sum of the tile's bitmap, per logical tile.
+
+    Returns:
+        A tuple ``(offsets, tile_totals, grand_total)`` where ``offsets`` is
+        an int64 array giving, for every item, the number of matched items
+        *before* it within its own tile; ``tile_totals`` gives the number of
+        matched items in each logical tile; and ``grand_total`` is the total
+        number of matched items across all tiles.
+
+    When the tile carries no bitmap every item counts as matched.
+    """
+    n = tile.values.shape[0]
+    if tile.bitmap is None:
+        flags = np.ones(n, dtype=np.int64)
+        flags[tile.size :] = 0
+    else:
+        flags = tile.bitmap.astype(np.int64)
+
+    tile_size = max(ctx.tile_size, 1)
+    offsets = np.empty(n, dtype=np.int64)
+    num_tiles = -(-n // tile_size) if n else 0
+    tile_totals = np.zeros(max(num_tiles, 1) if n else 0, dtype=np.int64)
+    for t in range(num_tiles):
+        lo = t * tile_size
+        hi = min(lo + tile_size, n)
+        cumulative = np.cumsum(flags[lo:hi])
+        offsets[lo:hi] = cumulative - flags[lo:hi]
+        tile_totals[t] = cumulative[-1] if hi > lo else 0
+
+    grand_total = int(flags.sum())
+
+    # The scan stages one 4-byte count per item through shared memory and
+    # uses two barriers (up-sweep and down-sweep).
+    ctx.charge_shared(n * 4)
+    ctx.charge_compute(n)
+    ctx.charge_barrier(2)
+    return offsets, tile_totals, grand_total

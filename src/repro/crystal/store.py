@@ -1,0 +1,51 @@
+"""Block-wide store primitive: ``block_store``.
+
+Copies the valid entries of a tile from the thread block back to global
+memory at a given offset.  Because the tile has already been compacted by
+``block_shuffle``, the write is fully coalesced -- this is the second half
+of the fix for the scattered writes of the thread-per-row approach
+(Section 3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crystal.context import BlockContext
+from repro.crystal.tile import Tile
+
+
+def block_store(
+    ctx: BlockContext,
+    tile: Tile,
+    out: np.ndarray,
+    offset: int = 0,
+    count: int | None = None,
+) -> int:
+    """Write the first ``count`` valid entries of ``tile`` to ``out[offset:]``.
+
+    Args:
+        ctx: The enclosing kernel's block context.
+        tile: The (typically compacted) tile to write out.
+        out: Destination array in global memory.
+        offset: Starting index in ``out`` (normally obtained from the global
+            atomic cursor).
+        count: Number of entries to write; defaults to the tile's valid size.
+
+    Returns:
+        The number of entries written.
+    """
+    if count is None:
+        count = tile.size
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count > tile.values.shape[0]:
+        raise ValueError("count exceeds tile capacity")
+    if offset < 0 or offset + count > out.shape[0]:
+        raise ValueError(
+            f"store of {count} items at offset {offset} overflows output of size {out.shape[0]}"
+        )
+    values = tile.values[:count]
+    out[offset : offset + count] = values.astype(out.dtype, copy=False)
+    ctx.charge_global_write(count * out.dtype.itemsize)
+    return int(count)

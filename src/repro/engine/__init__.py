@@ -1,0 +1,44 @@
+"""Full-query execution engines.
+
+All engines execute the declarative SSB queries of :mod:`repro.ssb.queries`
+against a :class:`repro.storage.Database` and return a
+:class:`~repro.engine.result.QueryResult` containing both the (exact) query
+answer and the simulated runtime on the paper's hardware.
+
+Engines:
+
+* :class:`CPUStandaloneEngine` -- the paper's hand-optimized CPU
+  implementation: vectorized single-pass pipeline with SIMD predicates and
+  cache-resident dimension hash tables.
+* :class:`GPUStandaloneEngine` -- the Crystal/tile-based GPU implementation:
+  one fused probe kernel per query, with the working set resident in GPU
+  memory.
+* :class:`CoprocessorEngine` -- the GPU-as-coprocessor configuration of
+  Section 3.1: data lives in CPU memory and the needed columns cross PCIe
+  for every query.
+* :mod:`repro.engine.baselines` -- calibrated models of the comparison
+  systems (Hyper, MonetDB, OmniSci) that execute the same queries with those
+  systems' documented execution strategies.
+"""
+
+from repro.engine.baselines import HyperLikeEngine, MonetDBLikeEngine, OmnisciLikeEngine
+from repro.engine.coprocessor import CoprocessorEngine
+from repro.engine.cpu_engine import CPUStandaloneEngine
+from repro.engine.gpu_engine import GPUStandaloneEngine
+from repro.engine.plan import QueryProfile, execute_query
+from repro.engine.planner import JoinOrderPlanner, PlanChoice
+from repro.engine.result import QueryResult
+
+__all__ = [
+    "CPUStandaloneEngine",
+    "CoprocessorEngine",
+    "GPUStandaloneEngine",
+    "HyperLikeEngine",
+    "JoinOrderPlanner",
+    "MonetDBLikeEngine",
+    "OmnisciLikeEngine",
+    "PlanChoice",
+    "QueryProfile",
+    "QueryResult",
+    "execute_query",
+]

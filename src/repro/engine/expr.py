@@ -1,0 +1,59 @@
+"""Predicate evaluation against columnar data."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ssb.queries import FilterSpec
+from repro.storage import Table
+
+
+def resolve_filter_value(table: Table, spec: FilterSpec):
+    """Rewrite a filter's constant(s) into dictionary codes when needed."""
+    if not spec.encoded:
+        return spec.value
+    encoder = table.dictionaries.get(spec.column)
+    if encoder is None:
+        raise KeyError(
+            f"filter on {spec.column!r} is marked encoded but table {table.name!r} has no "
+            f"dictionary for it"
+        )
+    if spec.op == "in":
+        return tuple(encoder.encode_value(v) for v in spec.value)
+    if spec.op == "between":
+        low, high = spec.value
+        return (encoder.encode_value(low), encoder.encode_value(high))
+    return encoder.encode_value(spec.value)
+
+
+def evaluate_filter(table: Table, spec: FilterSpec) -> np.ndarray:
+    """Evaluate one filter against a table, returning a boolean mask."""
+    values = table[spec.column]
+    constant = resolve_filter_value(table, spec)
+    op = spec.op
+    if op == "eq":
+        return values == constant
+    if op == "ne":
+        return values != constant
+    if op == "lt":
+        return values < constant
+    if op == "le":
+        return values <= constant
+    if op == "gt":
+        return values > constant
+    if op == "ge":
+        return values >= constant
+    if op == "between":
+        low, high = constant
+        return (values >= low) & (values <= high)
+    if op == "in":
+        return np.isin(values, np.asarray(constant))
+    raise ValueError(f"unsupported filter operator {op!r}")
+
+
+def evaluate_filters(table: Table, specs) -> np.ndarray:
+    """AND a sequence of filters together (all-true for an empty sequence)."""
+    mask = np.ones(table.num_rows, dtype=bool)
+    for spec in specs:
+        mask &= evaluate_filter(table, spec)
+    return mask

@@ -1,0 +1,221 @@
+"""Shared functional execution and profiling of SSB queries.
+
+Every engine computes the same answer; what differs is *how* the work maps
+onto hardware.  :func:`execute_query` runs a query functionally (exact
+NumPy evaluation) and simultaneously collects a :class:`QueryProfile`: the
+per-stage cardinalities, selectivities, column footprints, and hash-table
+sizes that the engines need to charge traffic according to their respective
+execution strategies (pipelined single pass on the CPU, fused tile kernel on
+the GPU, operator-at-a-time with materialization for the MonetDB-like
+baseline, and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.expr import evaluate_filters
+from repro.ssb.queries import SSBQuery
+from repro.storage import Database, Table
+
+#: Bytes per dimension hash-table entry: a 4-byte key and a 4-byte payload
+#: (the paper's perfect-hashing estimate, Section 5.3).
+HASH_ENTRY_BYTES = 8
+
+
+@dataclass
+class JoinStage:
+    """Profile of one fact-to-dimension join inside a query."""
+
+    dimension: str
+    fact_key: str
+    dimension_rows: int
+    build_rows: int
+    hash_table_bytes: float
+    #: Rows of the fact table that reach this join (after earlier stages).
+    probe_rows: float
+    #: Fraction of probed rows that survive this join.
+    selectivity: float
+    #: Whether the query needs a payload column from this dimension.
+    has_payload: bool
+    #: Bytes of dimension columns scanned to build the hash table.
+    build_scan_bytes: float
+
+
+@dataclass
+class ColumnAccess:
+    """Profile of one fact-column access inside the pipelined probe pass."""
+
+    column: str
+    column_bytes: float
+    #: Rows still alive when this column is first needed.
+    rows_needed: float
+    #: Purpose of the access: "filter", "join_key", or "measure".
+    role: str
+
+
+@dataclass
+class QueryProfile:
+    """Everything an engine needs to cost a query without re-executing it."""
+
+    query: str
+    fact_rows: int
+    fact_filter_selectivity: float
+    column_accesses: list[ColumnAccess] = field(default_factory=list)
+    joins: list[JoinStage] = field(default_factory=list)
+    #: Rows surviving all filters and joins (the rows that reach the aggregate).
+    result_input_rows: float = 0.0
+    #: Number of output groups (1 for a scalar aggregate).
+    num_groups: int = 1
+    #: Bytes per output row (group keys + aggregate).
+    output_row_bytes: float = 16.0
+
+    def fact_bytes_accessed_full(self) -> float:
+        """Total bytes of the fact columns the query touches (full columns)."""
+        return sum(access.column_bytes for access in self.column_accesses)
+
+    def selective_column_bytes(self, line_bytes: int) -> float:
+        """Fact-column bytes touched under the min(full-scan, line-per-row) rule."""
+        total = 0.0
+        for access in self.column_accesses:
+            per_row = access.rows_needed * line_bytes
+            total += min(access.column_bytes, per_row)
+        return total
+
+
+def _build_lookup(dimension: Table, key_column: str, mask: np.ndarray, payload_column: str | None):
+    """Build a dense key -> payload lookup for a (filtered) dimension.
+
+    Dimension keys in SSB are dense integers, so a perfect-hash array is both
+    what a high-performance implementation would use and what the paper's
+    hash-table size estimate assumes.  Rows excluded by the dimension filter
+    map to -1 (no match).
+    """
+    keys = dimension[key_column]
+    max_key = int(keys.max()) if keys.shape[0] else 0
+    lookup = np.full(max_key + 1, -1, dtype=np.int64)
+    if payload_column is not None:
+        payload = dimension[payload_column].astype(np.int64)
+    else:
+        payload = np.zeros(keys.shape[0], dtype=np.int64)
+    selected = np.flatnonzero(mask)
+    lookup[keys[selected]] = payload[selected]
+    return lookup
+
+
+def execute_query(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
+    """Execute ``query`` against ``db`` and collect its execution profile.
+
+    Returns ``(value, profile)`` where ``value`` is the scalar aggregate for
+    flight-1 queries or a dict mapping group-key tuples (dictionary codes /
+    integers) to the aggregate for grouped queries.
+    """
+    fact = db.table("lineorder")
+    n = fact.num_rows
+    profile = QueryProfile(query=query.name, fact_rows=n, fact_filter_selectivity=1.0)
+
+    # ------------------------------------------------------------------
+    # Fact-table filters
+    # ------------------------------------------------------------------
+    alive = np.ones(n, dtype=bool)
+    rows_alive = float(n)
+    for spec in query.fact_filters:
+        column_bytes = float(fact.column(spec.column).nbytes)
+        profile.column_accesses.append(
+            ColumnAccess(column=spec.column, column_bytes=column_bytes, rows_needed=rows_alive, role="filter")
+        )
+        alive &= evaluate_filters(fact, [spec])
+        rows_alive = float(np.count_nonzero(alive))
+    profile.fact_filter_selectivity = rows_alive / n if n else 0.0
+
+    # ------------------------------------------------------------------
+    # Dimension joins (in the order given by the query plan)
+    # ------------------------------------------------------------------
+    group_columns: dict[str, np.ndarray] = {}
+    for join in query.joins:
+        dimension = db.table(join.dimension)
+        dim_mask = evaluate_filters(dimension, join.filters)
+        build_rows = int(np.count_nonzero(dim_mask))
+        lookup = _build_lookup(dimension, join.dimension_key, dim_mask, join.payload)
+
+        fact_keys = fact[join.fact_key]
+        column_bytes = float(fact.column(join.fact_key).nbytes)
+        profile.column_accesses.append(
+            ColumnAccess(column=join.fact_key, column_bytes=column_bytes, rows_needed=rows_alive, role="join_key")
+        )
+
+        payload_codes = np.full(n, -1, dtype=np.int64)
+        valid_key = fact_keys < lookup.shape[0]
+        candidate = alive & valid_key
+        payload_codes[candidate] = lookup[fact_keys[candidate]]
+        matched = candidate & (payload_codes >= 0)
+
+        probe_rows = rows_alive
+        rows_alive_after = float(np.count_nonzero(matched))
+        selectivity = rows_alive_after / probe_rows if probe_rows else 0.0
+
+        build_scan_bytes = float(
+            dimension.column(join.dimension_key).nbytes
+            + sum(dimension.column(f.column).nbytes for f in join.filters)
+            + (dimension.column(join.payload).nbytes if join.payload else 0)
+        )
+        profile.joins.append(
+            JoinStage(
+                dimension=join.dimension,
+                fact_key=join.fact_key,
+                dimension_rows=dimension.num_rows,
+                build_rows=build_rows,
+                hash_table_bytes=float(HASH_ENTRY_BYTES * dimension.num_rows),
+                probe_rows=probe_rows,
+                selectivity=selectivity,
+                has_payload=join.payload is not None,
+                build_scan_bytes=build_scan_bytes,
+            )
+        )
+
+        alive = matched
+        rows_alive = rows_alive_after
+        if join.payload is not None:
+            group_columns[join.payload] = payload_codes
+
+    profile.result_input_rows = rows_alive
+
+    # ------------------------------------------------------------------
+    # Aggregate (and group-by)
+    # ------------------------------------------------------------------
+    agg = query.aggregate
+    measure_columns = []
+    for column in agg.columns:
+        column_bytes = float(fact.column(column).nbytes)
+        profile.column_accesses.append(
+            ColumnAccess(column=column, column_bytes=column_bytes, rows_needed=rows_alive, role="measure")
+        )
+        measure_columns.append(fact[column].astype(np.float64))
+
+    if agg.combine == "mul":
+        measure = measure_columns[0] * measure_columns[1]
+    elif agg.combine == "sub":
+        measure = measure_columns[0] - measure_columns[1]
+    else:
+        measure = measure_columns[0]
+
+    selected = np.flatnonzero(alive)
+    if not query.has_group_by:
+        value: object = float(measure[selected].sum()) if selected.size else 0.0
+        profile.num_groups = 1
+        profile.output_row_bytes = 8.0
+        return value, profile
+
+    key_arrays = [group_columns[name][selected] for name in query.group_by]
+    if selected.size == 0:
+        value = {}
+    else:
+        stacked = np.stack(key_arrays, axis=1)
+        unique_keys, inverse = np.unique(stacked, axis=0, return_inverse=True)
+        sums = np.bincount(inverse, weights=measure[selected])
+        value = {tuple(int(x) for x in key): float(total) for key, total in zip(unique_keys, sums)}
+    profile.num_groups = max(len(value), 1)
+    profile.output_row_bytes = float(8 + 4 * len(query.group_by))
+    return value, profile

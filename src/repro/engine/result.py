@@ -1,0 +1,39 @@
+"""Query result type shared by all engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.counters import TrafficCounter
+from repro.sim.timing import TimeBreakdown
+
+
+@dataclass
+class QueryResult:
+    """The answer and simulated cost of one query on one engine."""
+
+    query: str
+    engine: str
+    #: Scalar aggregate (flight 1) or ``{group key tuple: aggregate}`` dict.
+    value: object
+    time: TimeBreakdown
+    traffic: TrafficCounter = field(default_factory=TrafficCounter)
+    #: Data-dependent statistics gathered during execution.
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def simulated_ms(self) -> float:
+        return self.time.total_ms
+
+    @property
+    def rows(self) -> int:
+        """Number of result rows (1 for a scalar aggregate)."""
+        if isinstance(self.value, dict):
+            return len(self.value)
+        return 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryResult({self.query!r}, engine={self.engine!r}, rows={self.rows}, "
+            f"simulated={self.simulated_ms:.2f}ms)"
+        )

@@ -1,0 +1,130 @@
+"""Concrete hardware specifications used throughout the reproduction.
+
+The values follow Table 2 of the paper ("Hardware Specifications") plus the
+measured PCIe bandwidth (12.8 GBps) and the Table 3 pricing.  Secondary
+microarchitectural parameters that the paper does not list explicitly
+(latencies, atomic throughput, register counts) use the public V100 /
+Broadwell-E numbers; they only affect second-order terms of the simulation.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.specs import (
+    GB,
+    GBPS,
+    KB,
+    MB,
+    TBPS,
+    CacheLevelSpec,
+    CPUSpec,
+    GPUSpec,
+    InstancePricing,
+    Platform,
+)
+
+#: Intel i7-6900 (8 cores, 16 SMT threads, AVX2) -- the paper's CPU platform.
+INTEL_I7_6900 = CPUSpec(
+    model="Intel i7-6900",
+    cores=8,
+    threads_per_core=2,
+    frequency_hz=3.2e9,
+    simd_width_bits=256,
+    dram_capacity_bytes=64 * GB,
+    dram_read_bandwidth=53 * GBPS,
+    dram_write_bandwidth=55 * GBPS,
+    caches=(
+        CacheLevelSpec(
+            name="L1",
+            capacity_bytes=32 * KB,
+            line_bytes=64,
+            latency_ns=1.2,
+            shared=False,
+            associativity=8,
+        ),
+        CacheLevelSpec(
+            name="L2",
+            capacity_bytes=256 * KB,
+            line_bytes=64,
+            latency_ns=3.8,
+            shared=False,
+            associativity=8,
+        ),
+        CacheLevelSpec(
+            name="L3",
+            capacity_bytes=20 * MB,
+            line_bytes=64,
+            bandwidth_bytes_per_s=157 * GBPS,
+            latency_ns=18.0,
+            shared=True,
+            associativity=16,
+        ),
+    ),
+    dram_latency_ns=90.0,
+    branch_miss_penalty_ns=4.7,
+    max_outstanding_misses=10,
+    non_temporal_write_speedup=1.5,
+)
+
+#: Nvidia V100 (80 SMs, 32 GB HBM2) -- the paper's GPU platform.  The paper
+#: quotes 880 GBps measured bandwidth, a 6 MB L2, 16 KB L1 per SM, 10.7 TBps
+#: L1 bandwidth and 2.2 TBps L2 bandwidth.
+NVIDIA_V100 = GPUSpec(
+    model="Nvidia V100",
+    num_sms=80,
+    cores_per_sm=64,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    max_thread_blocks_per_sm=32,
+    registers_per_sm=65536,
+    shared_memory_per_sm_bytes=96 * KB,
+    frequency_hz=1.38e9,
+    global_capacity_bytes=32 * GB,
+    global_read_bandwidth=880 * GBPS,
+    global_write_bandwidth=880 * GBPS,
+    global_access_granularity_bytes=128,
+    l2_capacity_bytes=6 * MB,
+    l2_bandwidth=2.2 * TBPS,
+    l1_capacity_per_sm_bytes=16 * KB,
+    l1_bandwidth=10.7 * TBPS,
+    shared_memory_bandwidth=10.7 * TBPS,
+    global_latency_ns=400.0,
+    l2_latency_ns=200.0,
+    atomic_throughput_ops_per_s=2.5e9,
+    pcie_bandwidth=12.8 * GBPS,
+)
+
+#: Measured bidirectional PCIe bandwidth between host and device (Section 5).
+DEFAULT_PCIE = 12.8 * GBPS
+
+#: AWS pricing used in Table 3.
+AWS_R5_2XLARGE = InstancePricing(
+    name="r5.2xlarge",
+    rent_usd_per_hour=0.504,
+    purchase_usd_low=2000.0,
+    purchase_usd_high=5000.0,
+    description="Skylake CPU, 8 cores -- the CPU platform's cloud equivalent",
+)
+
+AWS_P3_2XLARGE = InstancePricing(
+    name="p3.2xlarge",
+    rent_usd_per_hour=3.06,
+    purchase_usd_low=2000.0 + 8500.0,
+    purchase_usd_high=5000.0 + 8500.0,
+    description="r5.2xlarge-class host plus one Nvidia V100",
+)
+
+#: The CPU+GPU platform the whole evaluation runs on.
+PAPER_PLATFORM = Platform(
+    cpu=INTEL_I7_6900,
+    gpu=NVIDIA_V100,
+    pcie_bandwidth=DEFAULT_PCIE,
+    cpu_pricing=AWS_R5_2XLARGE,
+    gpu_pricing=AWS_P3_2XLARGE,
+    notes="Table 2 of the paper; PCIe bandwidth measured at 12.8 GBps.",
+)
+
+
+def bandwidth_ratio(cpu: CPUSpec = INTEL_I7_6900, gpu: GPUSpec = NVIDIA_V100) -> float:
+    """GPU-to-CPU memory bandwidth ratio (the paper's ~16.2x reference line)."""
+    return gpu.global_read_bandwidth / cpu.dram_read_bandwidth

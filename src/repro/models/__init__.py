@@ -1,0 +1,31 @@
+"""Analytic cost models from the paper (Sections 4 and 5.3).
+
+Every model assumes the implementation saturates the relevant memory
+bandwidth and predicts runtime purely from data sizes, selectivities, and
+the hardware parameters of Table 2.  The models serve two purposes in the
+reproduction, exactly as in the paper: they are the dashed reference lines
+in every microbenchmark figure, and they are the yardstick that tells us
+whether an implementation is as good as it can be.
+"""
+
+from repro.models.base import ModelPrediction
+from repro.models.coprocessor import coprocessor_query_lower_bound, cpu_query_upper_bound
+from repro.models.join import join_probe_model
+from repro.models.project import project_model
+from repro.models.query import QueryCostInputs, ssb_q21_model
+from repro.models.select import select_model
+from repro.models.sort import radix_histogram_model, radix_shuffle_model, radix_sort_model
+
+__all__ = [
+    "ModelPrediction",
+    "QueryCostInputs",
+    "coprocessor_query_lower_bound",
+    "cpu_query_upper_bound",
+    "join_probe_model",
+    "project_model",
+    "radix_histogram_model",
+    "radix_shuffle_model",
+    "radix_sort_model",
+    "select_model",
+    "ssb_q21_model",
+]

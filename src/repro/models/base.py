@@ -1,0 +1,29 @@
+"""Shared model output type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ModelPrediction:
+    """A model-predicted runtime with its component terms.
+
+    Attributes:
+        seconds: Predicted runtime in seconds.
+        terms: Named component terms (seconds) whose combination (sum or
+            max, depending on the model) produced the total; kept for
+            reporting and for testing individual terms.
+        combination: How the terms were combined: ``"sum"`` or ``"max"``.
+    """
+
+    seconds: float
+    terms: dict[str, float] = field(default_factory=dict)
+    combination: str = "sum"
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    def term(self, name: str) -> float:
+        return self.terms[name]

@@ -1,0 +1,139 @@
+"""Hash-join probe cost model (Section 4.3).
+
+Two cases, depending on whether the hash table fits in the last cache level
+that can hold it:
+
+* Hash table fits in the level-K cache::
+
+      runtime = max( 4 * 2 * |P| / B_r,
+                     (1 - pi_{K-1}) * |P| * C / B_K )
+
+  The scan of the probe relation (two 4-byte columns) and the probe traffic
+  proceed in parallel; the slower one is the bottleneck.
+
+* Hash table larger than the last-level cache::
+
+      runtime = 4 * 2 * |P| / B_r + (1 - pi) * |P| * C / B_r
+
+  where ``pi`` is the probability a probe hits the LLC.  Probe misses now
+  share the memory bus with the scan, so the terms add.
+
+``C`` is the memory-transaction granularity: 64 bytes on the CPU, 128 bytes
+on the GPU -- the factor behind the paper's observation that GPU random
+probes move twice the data per access.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.presets import INTEL_I7_6900, NVIDIA_V100
+from repro.hardware.specs import CPUSpec, GPUSpec
+from repro.models.base import ModelPrediction
+
+
+def join_probe_model(
+    probe_rows: int,
+    hash_table_bytes: float,
+    cache_levels: list[tuple[float, float | None]],
+    read_bandwidth: float,
+    line_bytes: int,
+    tuple_bytes: int = 8,
+    cached_line_bytes: int | None = None,
+) -> ModelPrediction:
+    """General probe-phase model.
+
+    Args:
+        probe_rows: ``|P|``, the probe-relation cardinality.
+        hash_table_bytes: ``H``, the hash-table size.
+        cache_levels: Ordered ``(capacity_bytes, bandwidth)`` pairs from the
+            innermost level to the LLC.  ``bandwidth`` may be ``None`` for
+            levels whose bandwidth never binds (they only filter accesses).
+        read_bandwidth: Device-memory read bandwidth ``B_r``.
+        line_bytes: Memory-transaction granularity ``C`` for accesses that
+            reach device memory.
+        tuple_bytes: Bytes of probe-side data scanned per row (two 4-byte
+            columns in Q4).
+        cached_line_bytes: Transaction granularity for probes served by a
+            cache level (defaults to ``line_bytes``; the GPU L2 serves
+            64-byte lines while global-memory transactions move 128 bytes).
+    """
+    if cached_line_bytes is None:
+        cached_line_bytes = line_bytes
+    if probe_rows < 0:
+        raise ValueError("probe cardinality must be non-negative")
+    scan_s = tuple_bytes * probe_rows / read_bandwidth
+
+    # Find the last level that can hold the table.
+    fitting_level = None
+    for index, (capacity, _bandwidth) in enumerate(cache_levels):
+        if hash_table_bytes <= capacity:
+            fitting_level = index
+            break
+
+    if fitting_level is not None:
+        capacity, bandwidth = cache_levels[fitting_level]
+        if fitting_level == 0:
+            inner_hit = 1.0
+        else:
+            inner_capacity = cache_levels[fitting_level - 1][0]
+            inner_hit = min(inner_capacity / hash_table_bytes, 1.0) if hash_table_bytes > 0 else 1.0
+        if bandwidth is None:
+            probe_s = 0.0
+        else:
+            probe_s = (1.0 - inner_hit) * probe_rows * cached_line_bytes / bandwidth
+        total = max(scan_s, probe_s)
+        return ModelPrediction(
+            seconds=total,
+            terms={"scan_probe_relation": scan_s, "probe_hash_table": probe_s},
+            combination="max",
+        )
+
+    llc_capacity = cache_levels[-1][0]
+    llc_hit = min(llc_capacity / hash_table_bytes, 1.0) if hash_table_bytes > 0 else 1.0
+    probe_s = (1.0 - llc_hit) * probe_rows * line_bytes / read_bandwidth
+    return ModelPrediction(
+        seconds=scan_s + probe_s,
+        terms={"scan_probe_relation": scan_s, "probe_hash_table": probe_s},
+        combination="sum",
+    )
+
+
+def cpu_join_probe_model(
+    probe_rows: int, hash_table_bytes: float, spec: CPUSpec = INTEL_I7_6900
+) -> ModelPrediction:
+    """Probe model instantiated with the paper's CPU cache hierarchy.
+
+    The CPU levels considered are the per-core L2 (probes essentially free
+    relative to the DRAM-bound scan) and the shared L3 at its measured
+    bandwidth; beyond the L3 each miss moves a 64-byte line from DRAM.
+    """
+    l2 = spec.cache_named("L2")
+    l3 = spec.cache_named("L3")
+    cache_levels = [
+        (float(l2.capacity_bytes), None),
+        (float(l3.capacity_bytes), l3.bandwidth_bytes_per_s),
+    ]
+    return join_probe_model(
+        probe_rows,
+        hash_table_bytes,
+        cache_levels,
+        spec.dram_read_bandwidth,
+        spec.cache_line_bytes,
+    )
+
+
+def gpu_join_probe_model(
+    probe_rows: int, hash_table_bytes: float, spec: GPUSpec = NVIDIA_V100
+) -> ModelPrediction:
+    """Probe model instantiated with the paper's GPU cache hierarchy."""
+    cache_levels = [
+        (float(spec.l1_capacity_per_sm_bytes), None),
+        (float(spec.l2_capacity_bytes), spec.l2_bandwidth),
+    ]
+    return join_probe_model(
+        probe_rows,
+        hash_table_bytes,
+        cache_levels,
+        spec.global_read_bandwidth,
+        spec.global_access_granularity_bytes,
+        cached_line_bytes=spec.global_access_granularity_bytes // 2,
+    )

@@ -1,0 +1,43 @@
+"""Projection cost model (Section 4.1).
+
+``runtime = 2 * 4 * N / B_r + 4 * N / B_w``
+
+The first term is the time to stream the two 4-byte input columns, the
+second the time to write the 4-byte result column.  The same formula applies
+to the CPU and the GPU with their respective bandwidths.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.presets import INTEL_I7_6900, NVIDIA_V100
+from repro.hardware.specs import CPUSpec, GPUSpec
+from repro.models.base import ModelPrediction
+
+
+def project_model(
+    num_rows: int,
+    read_bandwidth: float,
+    write_bandwidth: float,
+    num_input_columns: int = 2,
+    value_bytes: int = 4,
+) -> ModelPrediction:
+    """Bandwidth-saturated runtime of a projection over ``num_rows`` rows."""
+    if num_rows < 0:
+        raise ValueError("row count must be non-negative")
+    read_s = num_input_columns * value_bytes * num_rows / read_bandwidth
+    write_s = value_bytes * num_rows / write_bandwidth
+    return ModelPrediction(
+        seconds=read_s + write_s,
+        terms={"read_inputs": read_s, "write_output": write_s},
+        combination="sum",
+    )
+
+
+def cpu_project_model(num_rows: int, spec: CPUSpec = INTEL_I7_6900) -> ModelPrediction:
+    """Projection model instantiated with the paper's CPU bandwidths."""
+    return project_model(num_rows, spec.dram_read_bandwidth, spec.dram_write_bandwidth)
+
+
+def gpu_project_model(num_rows: int, spec: GPUSpec = NVIDIA_V100) -> ModelPrediction:
+    """Projection model instantiated with the paper's GPU bandwidths."""
+    return project_model(num_rows, spec.global_read_bandwidth, spec.global_write_bandwidth)

@@ -1,0 +1,167 @@
+"""Full-query cost model for the SSB case study q2.1 (Section 5.3).
+
+The probe-phase runtime of a star-join query is modelled as three terms:
+
+* ``r1`` -- streaming the fact-table columns: the first column is read in
+  full; each later column is accessed only for rows that survived the
+  previous joins, so its traffic is the smaller of a full-column scan and
+  one cache line per surviving row.
+* ``r2`` -- probing the dimension hash tables: the small supplier and date
+  tables are read once into cache; the part hash table is probed once per
+  surviving row, with a fraction ``pi`` of the probes hitting the cache
+  level that (partially) holds it.
+* ``r3`` -- reading and writing the aggregate/result table.
+
+The same formulas apply to the CPU by substituting the CPU cache sizes --
+where all three hash tables fit in the 20 MB L3, making ``pi`` effectively
+one -- and the CPU bandwidths; the paper's point is that the measured CPU
+runtime still exceeds this model because CPUs cannot hide the latency of
+irregular probe accesses, while the GPU's warp scheduling can.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.presets import INTEL_I7_6900, NVIDIA_V100
+from repro.hardware.specs import CPUSpec, GPUSpec
+from repro.models.base import ModelPrediction
+
+
+@dataclass(frozen=True)
+class QueryCostInputs:
+    """Cardinalities and selectivities describing a 3-join SSB query plan."""
+
+    fact_rows: int
+    supplier_rows: int
+    part_rows: int
+    date_rows: int
+    join1_selectivity: float
+    join2_selectivity: float
+    num_fact_columns: int = 4
+    value_bytes: int = 4
+
+    @classmethod
+    def ssb_q21_sf(cls, scale_factor: float = 20.0) -> "QueryCostInputs":
+        """The q2.1 parameters at a given SSB scale factor.
+
+        At SF 20 the paper quotes 120 M fact rows, 40 K suppliers, 1 M parts
+        and 2556 dates, with join selectivities of 1/5 (s_region) and 1/25
+        (p_category).
+        """
+        # SSB sizing rules: lineorder = 6M * SF, supplier = 2k * SF,
+        # part = 200k * (1 + floor(log2(SF))), date = ~7 years of days.
+        part_rows = int(200_000 * (1 + max(0, math.floor(math.log2(max(scale_factor, 1.0))))))
+        return cls(
+            fact_rows=int(6_000_000 * scale_factor),
+            supplier_rows=int(2_000 * scale_factor),
+            part_rows=part_rows,
+            date_rows=2_556,
+            join1_selectivity=1.0 / 5.0,
+            join2_selectivity=1.0 / 25.0,
+        )
+
+
+def _column_access_bytes(fact_rows: int, surviving_rows: float, line_bytes: int, value_bytes: int) -> float:
+    """Bytes touched when reading a fact column for ``surviving_rows`` rows.
+
+    The smaller of a full sequential scan of the column and one cache line
+    per surviving row (the ``min`` terms of r1 in the paper).
+    """
+    full_scan = value_bytes * fact_rows
+    per_row = surviving_rows * line_bytes
+    return min(full_scan, per_row)
+
+
+def ssb_q21_model(
+    inputs: QueryCostInputs,
+    read_bandwidth: float,
+    write_bandwidth: float,
+    line_bytes: int,
+    cache_bytes_for_part: float,
+    part_table_fits: bool,
+) -> ModelPrediction:
+    """The r1 + r2 + r3 model of Section 5.3.
+
+    Args:
+        inputs: Query cardinalities and selectivities.
+        read_bandwidth / write_bandwidth: Device bandwidths.
+        line_bytes: Memory-transaction granularity ``C``.
+        cache_bytes_for_part: Cache capacity left for the part hash table
+            after the supplier and date tables claimed their share.
+        part_table_fits: True when the part hash table fully fits in cache
+            (the CPU case); then no probe goes to device memory.
+    """
+    s1 = inputs.join1_selectivity
+    s2 = inputs.join2_selectivity
+    L = inputs.fact_rows
+    vb = inputs.value_bytes
+    C = line_bytes
+
+    # Perfect-hashing sizes: two 4-byte values per build row.
+    part_ht_bytes = 2.0 * vb * inputs.part_rows
+    supplier_ht_bytes = 2.0 * vb * inputs.supplier_rows
+    date_ht_bytes = 2.0 * vb * inputs.date_rows
+
+    # r1: fact-table column accesses.  Column 1 (suppkey) is read in full;
+    # partkey is needed for rows surviving join 1; orderdate and revenue for
+    # rows surviving joins 1 and 2.
+    col1 = float(vb * L)
+    col2 = _column_access_bytes(L, L * s1, C, vb)
+    col3 = _column_access_bytes(L, L * s1 * s2, C, vb)
+    col4 = _column_access_bytes(L, L * s1 * s2, C, vb)
+    r1 = (col1 + col2 + col3 + col4) / read_bandwidth
+
+    # r2: probing the dimension hash tables.  Following the paper, the warm-up
+    # reads of the supplier and date hash tables cost 2*|S| and 2*|D|
+    # cache-line accesses; the part hash table either also fits (CPU: 2*|P|
+    # accesses) or is probed once per surviving row with a fraction pi of the
+    # probes hitting the cache (GPU).
+    if part_table_fits:
+        pi = 1.0
+        part_accesses = 2.0 * inputs.part_rows
+    else:
+        pi = min(cache_bytes_for_part / part_ht_bytes, 1.0)
+        part_accesses = (1.0 - pi) * (L * s1)
+    r2_accesses = 2.0 * inputs.supplier_rows + 2.0 * inputs.date_rows + part_accesses
+    r2 = r2_accesses * C / read_bandwidth
+
+    # r3: result read/write.  The aggregate output is one row per surviving
+    # fact row in the worst case (before grouping collapses them).
+    result_rows = L * s1 * s2
+    r3 = result_rows * C / read_bandwidth + result_rows * C / write_bandwidth
+
+    return ModelPrediction(
+        seconds=r1 + r2 + r3,
+        terms={"r1_fact_columns": r1, "r2_hash_probes": r2, "r3_result": r3},
+        combination="sum",
+    )
+
+
+def gpu_ssb_q21_model(inputs: QueryCostInputs, spec: GPUSpec = NVIDIA_V100) -> ModelPrediction:
+    """q2.1 model on the GPU: the part hash table only partially fits in L2."""
+    supplier_ht = 2.0 * inputs.value_bytes * inputs.supplier_rows
+    date_ht = 2.0 * inputs.value_bytes * inputs.date_rows
+    available = max(float(spec.l2_capacity_bytes) - supplier_ht - date_ht, 0.0)
+    return ssb_q21_model(
+        inputs,
+        read_bandwidth=spec.global_read_bandwidth,
+        write_bandwidth=spec.global_write_bandwidth,
+        line_bytes=spec.global_access_granularity_bytes,
+        cache_bytes_for_part=available,
+        part_table_fits=False,
+    )
+
+
+def cpu_ssb_q21_model(inputs: QueryCostInputs, spec: CPUSpec = INTEL_I7_6900) -> ModelPrediction:
+    """q2.1 model on the CPU: all three hash tables fit in the 20 MB L3."""
+    l3 = spec.cache_named("L3")
+    return ssb_q21_model(
+        inputs,
+        read_bandwidth=spec.dram_read_bandwidth,
+        write_bandwidth=spec.dram_write_bandwidth,
+        line_bytes=spec.cache_line_bytes,
+        cache_bytes_for_part=float(l3.capacity_bytes),
+        part_table_fits=True,
+    )

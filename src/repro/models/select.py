@@ -1,0 +1,44 @@
+"""Selection-scan cost model (Section 4.2).
+
+``runtime = 4 * N / B_r + 4 * sigma * N / B_w``
+
+The whole input column is read; only the matching entries (fraction
+``sigma``) are written out.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.presets import INTEL_I7_6900, NVIDIA_V100
+from repro.hardware.specs import CPUSpec, GPUSpec
+from repro.models.base import ModelPrediction
+
+
+def select_model(
+    num_rows: int,
+    selectivity: float,
+    read_bandwidth: float,
+    write_bandwidth: float,
+    value_bytes: int = 4,
+) -> ModelPrediction:
+    """Bandwidth-saturated runtime of a selection scan."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError("selectivity must be within [0, 1]")
+    if num_rows < 0:
+        raise ValueError("row count must be non-negative")
+    read_s = value_bytes * num_rows / read_bandwidth
+    write_s = value_bytes * selectivity * num_rows / write_bandwidth
+    return ModelPrediction(
+        seconds=read_s + write_s,
+        terms={"read_input": read_s, "write_matches": write_s},
+        combination="sum",
+    )
+
+
+def cpu_select_model(num_rows: int, selectivity: float, spec: CPUSpec = INTEL_I7_6900) -> ModelPrediction:
+    """Selection model with the paper's CPU bandwidths."""
+    return select_model(num_rows, selectivity, spec.dram_read_bandwidth, spec.dram_write_bandwidth)
+
+
+def gpu_select_model(num_rows: int, selectivity: float, spec: GPUSpec = NVIDIA_V100) -> ModelPrediction:
+    """Selection model with the paper's GPU bandwidths."""
+    return select_model(num_rows, selectivity, spec.global_read_bandwidth, spec.global_write_bandwidth)

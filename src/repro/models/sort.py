@@ -1,0 +1,76 @@
+"""Radix partitioning / radix sort cost model (Section 4.4).
+
+* Histogram phase: read the key column, write a (negligible) histogram::
+
+      runtime_histogram = 4 * R / B_r
+
+* Shuffle phase: read key and payload columns, write the partitioned key
+  and payload columns::
+
+      runtime_shuffle = 2 * 4 * R / B_r + 2 * 4 * R / B_w
+
+* A full radix sort is the sum of its per-pass histogram and shuffle times.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.presets import INTEL_I7_6900, NVIDIA_V100
+from repro.hardware.specs import CPUSpec, GPUSpec
+from repro.models.base import ModelPrediction
+
+
+def radix_histogram_model(num_rows: int, read_bandwidth: float, key_bytes: int = 4) -> ModelPrediction:
+    """Bandwidth-saturated histogram-phase runtime."""
+    if num_rows < 0:
+        raise ValueError("row count must be non-negative")
+    read_s = key_bytes * num_rows / read_bandwidth
+    return ModelPrediction(seconds=read_s, terms={"read_keys": read_s}, combination="sum")
+
+
+def radix_shuffle_model(
+    num_rows: int,
+    read_bandwidth: float,
+    write_bandwidth: float,
+    key_bytes: int = 4,
+    payload_bytes: int = 4,
+) -> ModelPrediction:
+    """Bandwidth-saturated shuffle-phase runtime."""
+    if num_rows < 0:
+        raise ValueError("row count must be non-negative")
+    tuple_bytes = key_bytes + payload_bytes
+    read_s = tuple_bytes * num_rows / read_bandwidth
+    write_s = tuple_bytes * num_rows / write_bandwidth
+    return ModelPrediction(
+        seconds=read_s + write_s,
+        terms={"read_tuples": read_s, "write_tuples": write_s},
+        combination="sum",
+    )
+
+
+def radix_sort_model(
+    num_rows: int,
+    num_passes: int,
+    read_bandwidth: float,
+    write_bandwidth: float,
+) -> ModelPrediction:
+    """Full radix sort: ``num_passes`` histogram + shuffle rounds."""
+    if num_passes <= 0:
+        raise ValueError("a radix sort needs at least one pass")
+    hist = radix_histogram_model(num_rows, read_bandwidth)
+    shuffle = radix_shuffle_model(num_rows, read_bandwidth, write_bandwidth)
+    per_pass = hist.seconds + shuffle.seconds
+    return ModelPrediction(
+        seconds=num_passes * per_pass,
+        terms={"per_pass": per_pass, "passes": float(num_passes)},
+        combination="sum",
+    )
+
+
+def cpu_radix_sort_model(num_rows: int, num_passes: int = 4, spec: CPUSpec = INTEL_I7_6900) -> ModelPrediction:
+    """CPU LSB radix sort model (4 passes of 8 bits for 32-bit keys)."""
+    return radix_sort_model(num_rows, num_passes, spec.dram_read_bandwidth, spec.dram_write_bandwidth)
+
+
+def gpu_radix_sort_model(num_rows: int, num_passes: int = 4, spec: GPUSpec = NVIDIA_V100) -> ModelPrediction:
+    """GPU MSB radix sort model (4 passes of 8 bits for 32-bit keys)."""
+    return radix_sort_model(num_rows, num_passes, spec.global_read_bandwidth, spec.global_write_bandwidth)

@@ -1,0 +1,15 @@
+"""Relational operators on the CPU and the GPU.
+
+Each operator is provided in the algorithm variants the paper evaluates
+(Section 4) and returns both the computed result and a simulated execution
+(time breakdown plus memory-traffic counters) on the paper's hardware.
+
+CPU variants live in :mod:`repro.ops.cpu`, GPU (Crystal-based) variants in
+:mod:`repro.ops.gpu`, and the shared hash-table data structure in
+:mod:`repro.ops.hash_table`.
+"""
+
+from repro.ops.base import OperatorResult
+from repro.ops.hash_table import LinearProbingHashTable
+
+__all__ = ["LinearProbingHashTable", "OperatorResult"]

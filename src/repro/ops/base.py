@@ -1,0 +1,49 @@
+"""Common result type for operator executions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.hardware.counters import TrafficCounter
+from repro.sim.timing import TimeBreakdown
+
+
+@dataclass
+class OperatorResult:
+    """The outcome of running one operator variant.
+
+    Attributes:
+        value: The computed result (an array, a scalar aggregate, a table...).
+        time: Simulated execution time on the paper's hardware.
+        traffic: The memory traffic the operator charged.
+        device: ``"cpu"`` or ``"gpu"``.
+        variant: The algorithm variant (e.g. ``"simd_pred"``, ``"prefetch"``).
+        stats: Data-dependent statistics observed during execution
+            (selectivity, match counts, ...), useful for feeding the analytic
+            models and for scaling runs up to the paper's data sizes.
+    """
+
+    value: Any
+    time: TimeBreakdown
+    traffic: TrafficCounter
+    device: str
+    variant: str
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def milliseconds(self) -> float:
+        return self.time.total_ms
+
+    @property
+    def seconds(self) -> float:
+        return self.time.total_seconds
+
+    def stat(self, name: str, default: float = 0.0) -> float:
+        return float(self.stats.get(name, default))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OperatorResult(device={self.device!r}, variant={self.variant!r}, "
+            f"time={self.milliseconds:.3f}ms)"
+        )

@@ -1,0 +1,33 @@
+"""CPU operator implementations (Section 4, CPU side).
+
+Each operator comes in the variants the paper evaluates:
+
+* Project (Q1/Q2): ``naive`` (multi-threaded scalar) and ``opt``
+  (SIMD + non-temporal writes).
+* Select (Q3): ``if`` (branching), ``pred`` (predicated), ``simd_pred``
+  (vectorized selective stores).
+* Hash join (Q4): ``scalar``, ``simd`` (vertical vectorization), and
+  ``prefetch`` (group prefetching), all over the shared linear-probing hash
+  table.
+* Radix partitioning / LSB radix sort following Polychroniou & Ross.
+* A hash group-by aggregate used by the SSB engines.
+"""
+
+from repro.ops.cpu.aggregate import cpu_group_by_aggregate
+from repro.ops.cpu.hash_join import cpu_hash_join_build, cpu_hash_join_probe
+from repro.ops.cpu.project import cpu_project
+from repro.ops.cpu.radix_join import cpu_radix_join
+from repro.ops.cpu.radix_partition import cpu_radix_partition
+from repro.ops.cpu.radix_sort import cpu_radix_sort
+from repro.ops.cpu.select import cpu_select
+
+__all__ = [
+    "cpu_group_by_aggregate",
+    "cpu_hash_join_build",
+    "cpu_hash_join_probe",
+    "cpu_project",
+    "cpu_radix_join",
+    "cpu_radix_partition",
+    "cpu_radix_sort",
+    "cpu_select",
+]

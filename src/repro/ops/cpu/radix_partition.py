@@ -1,0 +1,144 @@
+"""CPU radix partitioning (Section 4.4, Figure 14).
+
+One radix-partition pass splits a key/payload array into ``2^r`` contiguous
+output partitions by ``r`` bits of the key, in two phases:
+
+* **histogram** -- each thread scans its chunk and counts keys per partition
+  (the per-thread histograms live in L1);
+* **shuffle** -- after a prefix sum over the per-thread histograms gives
+  every thread its write cursors, each thread re-reads its chunk and
+  scatters entries to their partitions through L1-resident software
+  buffers, flushing full cache lines with streaming stores (Polychroniou &
+  Ross).  The pass is *stable*: ties keep their input order.
+
+Beyond 8 radix bits the per-thread buffers (``2^r`` cache lines) no longer
+fit in L1 and the shuffle phase falls off the bandwidth-bound plateau, which
+is the knee in Figure 14b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.counters import TrafficCounter
+from repro.ops.base import OperatorResult
+from repro.sim.cpu import CPUSimulator
+
+#: Number of software threads the partitioning is striped over.
+_NUM_THREADS = 16
+
+#: Bytes of L1 available for the per-thread partition buffers (the other half
+#: of the 32 KB L1 holds the input vector and the histogram).
+_L1_BUFFER_BYTES = 16 * 1024
+
+
+@dataclass
+class RadixPartitionOutput:
+    """The result of one radix-partition pass."""
+
+    keys: np.ndarray
+    payloads: np.ndarray
+    partition_offsets: np.ndarray
+    radix_bits: int
+    start_bit: int
+
+    @property
+    def num_partitions(self) -> int:
+        return 1 << self.radix_bits
+
+
+def radix_of(keys: np.ndarray, radix_bits: int, start_bit: int) -> np.ndarray:
+    """Extract the ``radix_bits`` bits starting at ``start_bit`` of each key."""
+    mask = (1 << radix_bits) - 1
+    return (keys.astype(np.int64) >> start_bit) & mask
+
+
+def cpu_radix_partition(
+    keys: np.ndarray,
+    payloads: np.ndarray | None = None,
+    radix_bits: int = 8,
+    start_bit: int = 0,
+    simulator: CPUSimulator | None = None,
+) -> tuple[RadixPartitionOutput, OperatorResult, OperatorResult]:
+    """Run one stable radix-partition pass on the CPU.
+
+    Returns ``(output, histogram_result, shuffle_result)`` so callers (and
+    the Figure 14 benchmark) can report the two phases separately.
+    """
+    if radix_bits <= 0 or radix_bits > 16:
+        raise ValueError("radix_bits must be in [1, 16]")
+    keys = np.asarray(keys)
+    if payloads is None:
+        payloads = np.zeros_like(keys)
+    payloads = np.asarray(payloads)
+    if payloads.shape != keys.shape:
+        raise ValueError("payloads must align with keys")
+    simulator = simulator or CPUSimulator()
+
+    n = keys.shape[0]
+    num_partitions = 1 << radix_bits
+    radix = radix_of(keys, radix_bits, start_bit)
+
+    # --- histogram phase -------------------------------------------------
+    histogram = np.bincount(radix, minlength=num_partitions).astype(np.int64)
+    histogram_traffic = TrafficCounter(
+        sequential_read_bytes=float(keys.nbytes),
+        sequential_write_bytes=float(num_partitions * 8 * _NUM_THREADS),
+        compute_ops=float(n) * 2.0,
+    )
+    histogram_exec = simulator.run(histogram_traffic, use_simd=True, label="cpu-radix-histogram")
+    histogram_result = OperatorResult(
+        value=histogram,
+        time=histogram_exec.time,
+        traffic=histogram_traffic,
+        device="cpu",
+        variant="stable",
+        stats={"rows": float(n), "radix_bits": float(radix_bits)},
+    )
+
+    # --- shuffle phase ---------------------------------------------------
+    offsets = np.zeros(num_partitions, dtype=np.int64)
+    np.cumsum(histogram[:-1], out=offsets[1:])
+    order = np.argsort(radix, kind="stable")
+    out_keys = keys[order]
+    out_payloads = payloads[order]
+
+    shuffle_traffic = TrafficCounter(
+        sequential_read_bytes=float(keys.nbytes + payloads.nbytes),
+        sequential_write_bytes=float(keys.nbytes + payloads.nbytes),
+        shared_bytes=float(keys.nbytes + payloads.nbytes),
+        compute_ops=float(n) * 4.0,
+    )
+    # Once the per-thread partition buffers exceed L1, partially-filled buffer
+    # lines get evicted and re-fetched before they are full, so the scattered
+    # flushes amplify the write traffic by up to a cache line per tuple; this
+    # produces the Figure 14b knee past 8 radix bits.
+    line_bytes = simulator.spec.cache_line_bytes
+    buffer_bytes = num_partitions * line_bytes
+    if buffer_bytes > _L1_BUFFER_BYTES:
+        overflow_fraction = 1.0 - _L1_BUFFER_BYTES / buffer_bytes
+        tuple_bytes = float(keys.dtype.itemsize + payloads.dtype.itemsize)
+        amplification = overflow_fraction * float(n) * max(line_bytes - tuple_bytes, 0.0)
+        shuffle_traffic.sequential_write_bytes += amplification
+    shuffle_exec = simulator.run(
+        shuffle_traffic, use_simd=True, non_temporal_writes=True, label="cpu-radix-shuffle"
+    )
+    shuffle_result = OperatorResult(
+        value=None,
+        time=shuffle_exec.time,
+        traffic=shuffle_traffic,
+        device="cpu",
+        variant="stable",
+        stats={"rows": float(n), "radix_bits": float(radix_bits)},
+    )
+
+    output = RadixPartitionOutput(
+        keys=out_keys,
+        payloads=out_payloads,
+        partition_offsets=offsets,
+        radix_bits=radix_bits,
+        start_bit=start_bit,
+    )
+    return output, histogram_result, shuffle_result

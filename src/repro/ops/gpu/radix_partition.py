@@ -1,0 +1,143 @@
+"""GPU radix partitioning (Section 4.4).
+
+Each thread block processes a tile: the histogram phase counts keys per
+partition and writes per-block histograms to global memory; after a prefix
+sum gives each block its write cursors, the shuffle phase re-reads its tile
+and scatters entries to their partitions with coalesced per-partition runs.
+
+Two variants differ in how the shuffle keeps order:
+
+* ``stable`` (used by LSB radix sort, Merrill & Grimshaw): every *thread*
+  needs its own 2^r-entry offset array held in registers, which caps the
+  pass at 7 radix bits.
+* ``unstable`` (used by MSB radix sort, Stehle & Jacobsen): a single
+  2^r-entry offset array per *thread block* suffices, allowing 8 bits per
+  pass -- which is why MSB sort needs only 4 passes for 32-bit keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.counters import TrafficCounter
+from repro.ops.base import OperatorResult
+from repro.ops.cpu.radix_partition import RadixPartitionOutput, radix_of
+from repro.sim.gpu import GPUSimulator, KernelLaunch
+
+#: Maximum radix bits per pass for the stable (per-thread offsets) variant.
+MAX_STABLE_BITS = 7
+#: Maximum radix bits per pass for the unstable (per-block offsets) variant.
+MAX_UNSTABLE_BITS = 8
+
+
+def gpu_radix_partition(
+    keys: np.ndarray,
+    payloads: np.ndarray | None = None,
+    radix_bits: int = 7,
+    start_bit: int = 0,
+    stable: bool = True,
+    threads_per_block: int = 128,
+    items_per_thread: int = 4,
+    simulator: GPUSimulator | None = None,
+) -> tuple[RadixPartitionOutput, OperatorResult, OperatorResult]:
+    """Run one radix-partition pass on the GPU.
+
+    Returns ``(output, histogram_result, shuffle_result)``.  The functional
+    result is always produced with a stable partitioning (so tests can check
+    it); the ``stable`` flag controls the *cost* model: the stable variant
+    needs more registers per thread (reducing occupancy) and is limited to
+    :data:`MAX_STABLE_BITS` bits per pass.
+    """
+    max_bits = MAX_STABLE_BITS if stable else MAX_UNSTABLE_BITS
+    if radix_bits <= 0:
+        raise ValueError("radix_bits must be positive")
+    if radix_bits > max_bits:
+        raise ValueError(
+            f"{'stable' if stable else 'unstable'} GPU radix partitioning supports at most "
+            f"{max_bits} bits per pass, got {radix_bits}"
+        )
+    keys = np.asarray(keys)
+    if payloads is None:
+        payloads = np.zeros_like(keys)
+    payloads = np.asarray(payloads)
+    if payloads.shape != keys.shape:
+        raise ValueError("payloads must align with keys")
+    simulator = simulator or GPUSimulator()
+
+    n = keys.shape[0]
+    num_partitions = 1 << radix_bits
+    tile_size = threads_per_block * items_per_thread
+    num_tiles = -(-n // tile_size) if n else 0
+    radix = radix_of(keys, radix_bits, start_bit)
+
+    # --- histogram phase -------------------------------------------------
+    histogram = np.bincount(radix, minlength=num_partitions).astype(np.int64)
+    histogram_traffic = TrafficCounter(
+        sequential_read_bytes=float(keys.nbytes),
+        sequential_write_bytes=float(num_tiles * num_partitions * 4),
+        shared_bytes=float(num_tiles * num_partitions * 4),
+        compute_ops=float(n) * 2.0,
+    )
+    histogram_launch = KernelLaunch(
+        threads_per_block=threads_per_block,
+        items_per_thread=items_per_thread,
+        shared_bytes_per_block=num_partitions * 4,
+        registers_per_thread=32,
+        barriers_per_tile=2,
+        grid_tiles=num_tiles,
+        label="gpu-radix-histogram",
+    )
+    histogram_exec = simulator.run_kernel(histogram_traffic, histogram_launch)
+    histogram_result = OperatorResult(
+        value=histogram,
+        time=histogram_exec.time,
+        traffic=histogram_traffic,
+        device="gpu",
+        variant="stable" if stable else "unstable",
+        stats={"rows": float(n), "radix_bits": float(radix_bits)},
+    )
+
+    # --- shuffle phase ---------------------------------------------------
+    offsets = np.zeros(num_partitions, dtype=np.int64)
+    np.cumsum(histogram[:-1], out=offsets[1:])
+    order = np.argsort(radix, kind="stable")
+    out_keys = keys[order]
+    out_payloads = payloads[order]
+
+    # Per-thread offset arrays of the stable variant consume registers and
+    # spill beyond 7 bits; per-block offsets of the unstable variant live in
+    # shared memory.
+    registers_per_thread = 32 + (num_partitions if stable else 0)
+    shuffle_traffic = TrafficCounter(
+        sequential_read_bytes=float(keys.nbytes + payloads.nbytes + num_tiles * num_partitions * 4),
+        sequential_write_bytes=float(keys.nbytes + payloads.nbytes),
+        shared_bytes=float(keys.nbytes + payloads.nbytes),
+        compute_ops=float(n) * 4.0,
+    )
+    shuffle_launch = KernelLaunch(
+        threads_per_block=threads_per_block,
+        items_per_thread=items_per_thread,
+        shared_bytes_per_block=tile_size * 8 + num_partitions * 4,
+        registers_per_thread=min(registers_per_thread, 255),
+        barriers_per_tile=3,
+        grid_tiles=num_tiles,
+        label="gpu-radix-shuffle",
+    )
+    shuffle_exec = simulator.run_kernel(shuffle_traffic, shuffle_launch)
+    shuffle_result = OperatorResult(
+        value=None,
+        time=shuffle_exec.time,
+        traffic=shuffle_traffic,
+        device="gpu",
+        variant="stable" if stable else "unstable",
+        stats={"rows": float(n), "radix_bits": float(radix_bits)},
+    )
+
+    output = RadixPartitionOutput(
+        keys=out_keys,
+        payloads=out_payloads,
+        partition_offsets=offsets,
+        radix_bits=radix_bits,
+        start_bit=start_bit,
+    )
+    return output, histogram_result, shuffle_result

@@ -1,0 +1,23 @@
+"""Execution simulators for the CPU and GPU platforms.
+
+Operators describe the work they did with a :class:`repro.hardware.counters.
+TrafficCounter`; the simulators in this package convert that description into
+simulated wall-clock time on the paper's hardware (Table 2).  The GPU
+simulator additionally models occupancy, memory coalescing, atomic
+contention, and latency hiding; the CPU simulator models per-core bandwidth
+sharing, SIMD, branch misprediction, and the memory stalls caused by
+irregular access patterns (the effect behind the Section 5.3 case study).
+"""
+
+from repro.sim.cpu import CPUExecution, CPUSimulator
+from repro.sim.gpu import GPUExecution, GPUSimulator, KernelLaunch
+from repro.sim.timing import TimeBreakdown
+
+__all__ = [
+    "CPUExecution",
+    "CPUSimulator",
+    "GPUExecution",
+    "GPUSimulator",
+    "KernelLaunch",
+    "TimeBreakdown",
+]

@@ -1,0 +1,22 @@
+"""Star Schema Benchmark (SSB) substrate.
+
+The SSB [O'Neil et al.] is a simplified TPC-H: one fact table (``lineorder``)
+and four dimension tables (``date``, ``customer``, ``supplier``, ``part``)
+arranged in a star, queried by 13 queries in four flights.  This package
+provides:
+
+* :mod:`repro.ssb.schema` -- the schema and the value domains (regions,
+  nations, cities, manufacturer/category/brand hierarchy, date attributes).
+* :mod:`repro.ssb.generator` -- a dbgen-equivalent data generator that
+  produces the tables at any scale factor with the standard cardinality
+  rules and uniform key distributions, dictionary encoding every string
+  column to 4-byte codes (Section 5.2).
+* :mod:`repro.ssb.queries` -- declarative definitions of all 13 queries,
+  ready to be executed by the engines in :mod:`repro.engine`.
+"""
+
+from repro.ssb.generator import generate_ssb
+from repro.ssb.queries import QUERIES, SSBQuery
+from repro.ssb.schema import SSB_CARDINALITIES, ssb_table_rows
+
+__all__ = ["QUERIES", "SSBQuery", "SSB_CARDINALITIES", "generate_ssb", "ssb_table_rows"]

@@ -1,0 +1,315 @@
+"""Declarative definitions of the 13 Star Schema Benchmark queries.
+
+Every query is described as a :class:`SSBQuery`: filters applied directly to
+fact-table columns, one :class:`JoinSpec` per dimension join (with the
+dimension's own filters and the dimension column the query groups on, if
+any), the group-by columns, and the aggregate expression.  The engines in
+:mod:`repro.engine` interpret these specifications; keeping them declarative
+lets the CPU, GPU, coprocessor, and baseline engines share one source of
+truth for what each query computes.
+
+String constants are written as strings here; the engines rewrite them into
+dictionary codes against the loaded database (the paper's manual rewrite of
+``s_region = 'ASIA'`` into ``s_region = 2``, Section 5.2).  Because the
+dictionary encoder assigns codes in sorted order, range predicates on
+encoded columns (q2.2's brand range) translate directly to code ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """A single-column predicate.
+
+    ``op`` is one of ``eq``, ``ne``, ``lt``, ``le``, ``gt``, ``ge``,
+    ``between`` (inclusive two-sided range), or ``in`` (membership).
+    ``encoded=True`` marks string constants that must be rewritten into
+    dictionary codes before evaluation.
+    """
+
+    column: str
+    op: str
+    value: object
+    encoded: bool = False
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """A join between the fact table and one dimension table."""
+
+    dimension: str
+    fact_key: str
+    dimension_key: str
+    filters: tuple[FilterSpec, ...] = ()
+    payload: str | None = None
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """The aggregate of a query: ``SUM`` over a one- or two-column expression."""
+
+    columns: tuple[str, ...]
+    combine: str | None = None  # None, "mul", or "sub"
+    op: str = "sum"
+
+
+@dataclass(frozen=True)
+class SSBQuery:
+    """One Star Schema Benchmark query."""
+
+    name: str
+    flight: int
+    fact_filters: tuple[FilterSpec, ...]
+    joins: tuple[JoinSpec, ...]
+    group_by: tuple[str, ...]
+    aggregate: AggregateSpec
+    description: str = ""
+
+    @property
+    def has_group_by(self) -> bool:
+        return bool(self.group_by)
+
+    def fact_columns_accessed(self) -> list[str]:
+        """Fact-table columns the query touches (filters, keys, measures)."""
+        columns: list[str] = []
+        for f in self.fact_filters:
+            if f.column not in columns:
+                columns.append(f.column)
+        for join in self.joins:
+            if join.fact_key not in columns:
+                columns.append(join.fact_key)
+        for column in self.aggregate.columns:
+            if column not in columns:
+                columns.append(column)
+        return columns
+
+
+def _q1(name: str, date_filters: tuple[FilterSpec, ...], discount, quantity) -> SSBQuery:
+    """Query-flight-1 template: date-restricted scan of the fact table."""
+    fact_filters = (
+        FilterSpec("lo_discount", "between", discount),
+        quantity,
+    )
+    return SSBQuery(
+        name=name,
+        flight=1,
+        fact_filters=fact_filters,
+        joins=(
+            JoinSpec(
+                dimension="date",
+                fact_key="lo_orderdate",
+                dimension_key="d_datekey",
+                filters=date_filters,
+            ),
+        ),
+        group_by=(),
+        aggregate=AggregateSpec(columns=("lo_extendedprice", "lo_discount"), combine="mul"),
+        description="revenue = SUM(lo_extendedprice * lo_discount) under date/discount/quantity filters",
+    )
+
+
+QUERIES: dict[str, SSBQuery] = {}
+
+QUERIES["q1.1"] = _q1(
+    "q1.1",
+    (FilterSpec("d_year", "eq", 1993),),
+    (1, 3),
+    FilterSpec("lo_quantity", "lt", 25),
+)
+QUERIES["q1.2"] = _q1(
+    "q1.2",
+    (FilterSpec("d_yearmonthnum", "eq", 199401),),
+    (4, 6),
+    FilterSpec("lo_quantity", "between", (26, 35)),
+)
+QUERIES["q1.3"] = _q1(
+    "q1.3",
+    (FilterSpec("d_weeknuminyear", "eq", 6), FilterSpec("d_year", "eq", 1994)),
+    (5, 7),
+    FilterSpec("lo_quantity", "between", (26, 35)),
+)
+
+QUERIES["q2.1"] = SSBQuery(
+    name="q2.1",
+    flight=2,
+    fact_filters=(),
+    joins=(
+        JoinSpec("supplier", "lo_suppkey", "s_suppkey",
+                 (FilterSpec("s_region", "eq", "AMERICA", encoded=True),)),
+        JoinSpec("part", "lo_partkey", "p_partkey",
+                 (FilterSpec("p_category", "eq", "MFGR#12", encoded=True),), payload="p_brand1"),
+        JoinSpec("date", "lo_orderdate", "d_datekey", (), payload="d_year"),
+    ),
+    group_by=("d_year", "p_brand1"),
+    aggregate=AggregateSpec(columns=("lo_revenue",)),
+    description="SUM(lo_revenue) by year and brand for one category in one region",
+)
+
+QUERIES["q2.2"] = SSBQuery(
+    name="q2.2",
+    flight=2,
+    fact_filters=(),
+    joins=(
+        JoinSpec("supplier", "lo_suppkey", "s_suppkey",
+                 (FilterSpec("s_region", "eq", "ASIA", encoded=True),)),
+        JoinSpec("part", "lo_partkey", "p_partkey",
+                 (FilterSpec("p_brand1", "between", ("MFGR#2221", "MFGR#2228"), encoded=True),),
+                 payload="p_brand1"),
+        JoinSpec("date", "lo_orderdate", "d_datekey", (), payload="d_year"),
+    ),
+    group_by=("d_year", "p_brand1"),
+    aggregate=AggregateSpec(columns=("lo_revenue",)),
+    description="SUM(lo_revenue) by year and brand for a brand range in ASIA",
+)
+
+QUERIES["q2.3"] = SSBQuery(
+    name="q2.3",
+    flight=2,
+    fact_filters=(),
+    joins=(
+        JoinSpec("supplier", "lo_suppkey", "s_suppkey",
+                 (FilterSpec("s_region", "eq", "EUROPE", encoded=True),)),
+        JoinSpec("part", "lo_partkey", "p_partkey",
+                 (FilterSpec("p_brand1", "eq", "MFGR#2221", encoded=True),), payload="p_brand1"),
+        JoinSpec("date", "lo_orderdate", "d_datekey", (), payload="d_year"),
+    ),
+    group_by=("d_year", "p_brand1"),
+    aggregate=AggregateSpec(columns=("lo_revenue",)),
+    description="SUM(lo_revenue) by year and brand for a single brand in EUROPE",
+)
+
+_Q3_YEAR_RANGE = (FilterSpec("d_year", "between", (1992, 1997)),)
+
+QUERIES["q3.1"] = SSBQuery(
+    name="q3.1",
+    flight=3,
+    fact_filters=(),
+    joins=(
+        JoinSpec("customer", "lo_custkey", "c_custkey",
+                 (FilterSpec("c_region", "eq", "ASIA", encoded=True),), payload="c_nation"),
+        JoinSpec("supplier", "lo_suppkey", "s_suppkey",
+                 (FilterSpec("s_region", "eq", "ASIA", encoded=True),), payload="s_nation"),
+        JoinSpec("date", "lo_orderdate", "d_datekey", _Q3_YEAR_RANGE, payload="d_year"),
+    ),
+    group_by=("c_nation", "s_nation", "d_year"),
+    aggregate=AggregateSpec(columns=("lo_revenue",)),
+    description="revenue by customer nation, supplier nation, and year within ASIA",
+)
+
+QUERIES["q3.2"] = SSBQuery(
+    name="q3.2",
+    flight=3,
+    fact_filters=(),
+    joins=(
+        JoinSpec("customer", "lo_custkey", "c_custkey",
+                 (FilterSpec("c_nation", "eq", "UNITED STATES", encoded=True),), payload="c_city"),
+        JoinSpec("supplier", "lo_suppkey", "s_suppkey",
+                 (FilterSpec("s_nation", "eq", "UNITED STATES", encoded=True),), payload="s_city"),
+        JoinSpec("date", "lo_orderdate", "d_datekey", _Q3_YEAR_RANGE, payload="d_year"),
+    ),
+    group_by=("c_city", "s_city", "d_year"),
+    aggregate=AggregateSpec(columns=("lo_revenue",)),
+    description="revenue by city pair and year within the United States",
+)
+
+_UK_CITIES = ("UNITED KI1", "UNITED KI5")
+
+QUERIES["q3.3"] = SSBQuery(
+    name="q3.3",
+    flight=3,
+    fact_filters=(),
+    joins=(
+        JoinSpec("customer", "lo_custkey", "c_custkey",
+                 (FilterSpec("c_city", "in", _UK_CITIES, encoded=True),), payload="c_city"),
+        JoinSpec("supplier", "lo_suppkey", "s_suppkey",
+                 (FilterSpec("s_city", "in", _UK_CITIES, encoded=True),), payload="s_city"),
+        JoinSpec("date", "lo_orderdate", "d_datekey", _Q3_YEAR_RANGE, payload="d_year"),
+    ),
+    group_by=("c_city", "s_city", "d_year"),
+    aggregate=AggregateSpec(columns=("lo_revenue",)),
+    description="revenue between two UK cities by year",
+)
+
+QUERIES["q3.4"] = SSBQuery(
+    name="q3.4",
+    flight=3,
+    fact_filters=(),
+    joins=(
+        JoinSpec("customer", "lo_custkey", "c_custkey",
+                 (FilterSpec("c_city", "in", _UK_CITIES, encoded=True),), payload="c_city"),
+        JoinSpec("supplier", "lo_suppkey", "s_suppkey",
+                 (FilterSpec("s_city", "in", _UK_CITIES, encoded=True),), payload="s_city"),
+        JoinSpec("date", "lo_orderdate", "d_datekey",
+                 (FilterSpec("d_yearmonth", "eq", "Dec1997", encoded=True),), payload="d_year"),
+    ),
+    group_by=("c_city", "s_city", "d_year"),
+    aggregate=AggregateSpec(columns=("lo_revenue",)),
+    description="revenue between two UK cities in one month",
+)
+
+QUERIES["q4.1"] = SSBQuery(
+    name="q4.1",
+    flight=4,
+    fact_filters=(),
+    joins=(
+        JoinSpec("customer", "lo_custkey", "c_custkey",
+                 (FilterSpec("c_region", "eq", "AMERICA", encoded=True),), payload="c_nation"),
+        JoinSpec("supplier", "lo_suppkey", "s_suppkey",
+                 (FilterSpec("s_region", "eq", "AMERICA", encoded=True),)),
+        JoinSpec("part", "lo_partkey", "p_partkey",
+                 (FilterSpec("p_mfgr", "in", ("MFGR#1", "MFGR#2"), encoded=True),)),
+        JoinSpec("date", "lo_orderdate", "d_datekey", (), payload="d_year"),
+    ),
+    group_by=("d_year", "c_nation"),
+    aggregate=AggregateSpec(columns=("lo_revenue", "lo_supplycost"), combine="sub"),
+    description="profit by year and customer nation in the Americas",
+)
+
+QUERIES["q4.2"] = SSBQuery(
+    name="q4.2",
+    flight=4,
+    fact_filters=(),
+    joins=(
+        JoinSpec("customer", "lo_custkey", "c_custkey",
+                 (FilterSpec("c_region", "eq", "AMERICA", encoded=True),)),
+        JoinSpec("supplier", "lo_suppkey", "s_suppkey",
+                 (FilterSpec("s_region", "eq", "AMERICA", encoded=True),), payload="s_nation"),
+        JoinSpec("part", "lo_partkey", "p_partkey",
+                 (FilterSpec("p_mfgr", "in", ("MFGR#1", "MFGR#2"), encoded=True),), payload="p_category"),
+        JoinSpec("date", "lo_orderdate", "d_datekey",
+                 (FilterSpec("d_year", "in", (1997, 1998)),), payload="d_year"),
+    ),
+    group_by=("d_year", "s_nation", "p_category"),
+    aggregate=AggregateSpec(columns=("lo_revenue", "lo_supplycost"), combine="sub"),
+    description="profit by year, supplier nation, and category for 1997-1998",
+)
+
+QUERIES["q4.3"] = SSBQuery(
+    name="q4.3",
+    flight=4,
+    fact_filters=(),
+    joins=(
+        JoinSpec("customer", "lo_custkey", "c_custkey",
+                 (FilterSpec("c_region", "eq", "AMERICA", encoded=True),)),
+        JoinSpec("supplier", "lo_suppkey", "s_suppkey",
+                 (FilterSpec("s_nation", "eq", "UNITED STATES", encoded=True),), payload="s_city"),
+        JoinSpec("part", "lo_partkey", "p_partkey",
+                 (FilterSpec("p_category", "eq", "MFGR#14", encoded=True),), payload="p_brand1"),
+        JoinSpec("date", "lo_orderdate", "d_datekey",
+                 (FilterSpec("d_year", "in", (1997, 1998)),), payload="d_year"),
+    ),
+    group_by=("d_year", "s_city", "p_brand1"),
+    aggregate=AggregateSpec(columns=("lo_revenue", "lo_supplycost"), combine="sub"),
+    description="profit by year, supplier city, and brand for one category",
+)
+
+#: Queries in the order the paper's figures plot them.
+QUERY_ORDER = [
+    "q1.1", "q1.2", "q1.3",
+    "q2.1", "q2.2", "q2.3",
+    "q3.1", "q3.2", "q3.3", "q3.4",
+    "q4.1", "q4.2", "q4.3",
+]

@@ -1,0 +1,18 @@
+"""Columnar storage substrate.
+
+The paper stores every table as a set of 4-byte columnar arrays with string
+columns dictionary encoded up front (Section 5.2).  This package provides
+that storage layer: columns, tables, a small database catalogue, and the
+dictionary encoder used to rewrite string predicates into integer
+comparisons.  Columns also track which device (CPU DRAM or GPU global
+memory) they currently reside on so the engines can account for PCIe
+transfers in the coprocessor configuration.
+"""
+
+from repro.storage.column import Column
+from repro.storage.compression import BitPackedColumn
+from repro.storage.database import Database
+from repro.storage.dictionary import DictionaryEncoder
+from repro.storage.table import Table
+
+__all__ = ["BitPackedColumn", "Column", "Database", "DictionaryEncoder", "Table"]

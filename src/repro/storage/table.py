@@ -1,0 +1,125 @@
+"""Tables: named collections of equal-length columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.memory import Device
+from repro.storage.column import Column
+from repro.storage.dictionary import DictionaryEncoder
+
+
+@dataclass
+class Table:
+    """A columnar table.
+
+    Columns are stored by name; all columns must have the same length.
+    Dictionary encoders for encoded string columns are kept alongside so
+    predicates can be rewritten and results decoded.
+    """
+
+    name: str
+    columns: dict[str, Column] = field(default_factory=dict)
+    dictionaries: dict[str, DictionaryEncoder] = field(default_factory=dict)
+
+    @classmethod
+    def from_arrays(cls, name: str, arrays: dict[str, np.ndarray], device: Device = Device.CPU) -> "Table":
+        """Build a table from a mapping of column name to array."""
+        table = cls(name=name)
+        for column_name, values in arrays.items():
+            table.add_column(Column(name=column_name, values=values, device=device))
+        return table
+
+    def add_column(self, column: Column) -> None:
+        """Add a column, enforcing length consistency."""
+        if self.columns and len(column) != self.num_rows:
+            raise ValueError(
+                f"column {column.name!r} has {len(column)} rows, table {self.name!r} "
+                f"has {self.num_rows}"
+            )
+        self.columns[column.name] = column
+
+    def add_encoded_column(
+        self, name: str, raw_values, device: Device = Device.CPU, domain=None
+    ) -> DictionaryEncoder:
+        """Dictionary encode ``raw_values`` and store them as an int32 column.
+
+        ``domain`` optionally supplies the full value domain for the
+        dictionary; passing it keeps predicate constants resolvable even when
+        a small generated sample does not contain every domain value.
+        """
+        encoder = DictionaryEncoder.from_values(domain if domain is not None else raw_values)
+        codes = encoder.encode(raw_values)
+        self.add_column(Column(name=name, values=codes, device=device, encoding="dictionary"))
+        self.dictionaries[name] = encoder
+        return encoder
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name, with a helpful error message."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; available: {sorted(self.columns)}"
+            ) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """The raw values of a column (shorthand used by the operators)."""
+        return self.column(name).values
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.columns
+
+    @property
+    def num_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across all columns."""
+        return sum(column.nbytes for column in self.columns.values())
+
+    def column_names(self) -> list[str]:
+        return list(self.columns)
+
+    def bytes_for(self, column_names) -> int:
+        """Total bytes of a subset of columns (used for PCIe accounting)."""
+        return sum(self.column(name).nbytes for name in column_names)
+
+    def select_rows(self, mask_or_indices) -> "Table":
+        """Materialize a row subset into a new table (used by tests/examples)."""
+        result = Table(name=f"{self.name}_subset", dictionaries=dict(self.dictionaries))
+        for name, column in self.columns.items():
+            result.add_column(
+                Column(
+                    name=name,
+                    values=column.values[mask_or_indices],
+                    device=column.device,
+                    encoding=column.encoding,
+                )
+            )
+        return result
+
+    def to_device(self, device: Device) -> "Table":
+        """Return a table whose columns are marked resident on ``device``."""
+        result = Table(name=self.name, dictionaries=dict(self.dictionaries))
+        for column in self.columns.values():
+            result.add_column(column.to_device(device))
+        return result
+
+    def encode_predicate_value(self, column_name: str, value: str) -> int:
+        """Rewrite a string predicate constant into its dictionary code."""
+        if column_name not in self.dictionaries:
+            raise KeyError(f"column {column_name!r} of table {self.name!r} is not dictionary encoded")
+        return self.dictionaries[column_name].encode_value(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={self.num_rows}, columns={self.column_names()})"

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.cpu import CPUSimulator
+from repro.sim.gpu import GPUSimulator
+from repro.ssb.generator import generate_ssb
+
+
+@pytest.fixture(scope="session")
+def cpu_sim() -> CPUSimulator:
+    """A CPU simulator configured with the paper's Intel i7-6900."""
+    return CPUSimulator()
+
+
+@pytest.fixture(scope="session")
+def gpu_sim() -> GPUSimulator:
+    """A GPU simulator configured with the paper's Nvidia V100."""
+    return GPUSimulator()
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A deterministic random generator shared across tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_ssb():
+    """A small SSB database (SF 0.01) reused by engine and query tests."""
+    return generate_ssb(scale_factor=0.01, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_ssb():
+    """A slightly larger SSB database (SF 0.05) for selectivity checks."""
+    return generate_ssb(scale_factor=0.05, seed=11)

@@ -1,0 +1,144 @@
+"""Tests for the shared query executor against brute-force references."""
+
+import numpy as np
+import pytest
+
+from repro.engine.expr import evaluate_filter, evaluate_filters, resolve_filter_value
+from repro.engine.plan import execute_query
+from repro.ssb.queries import QUERIES, FilterSpec
+from repro.storage import Table
+
+
+def _reference_q11(db):
+    """Brute-force evaluation of q1.1 with plain NumPy."""
+    lo = db["lineorder"]
+    date = db["date"]
+    year_of = dict(zip(date["d_datekey"].tolist(), date["d_year"].tolist()))
+    years = np.array([year_of[d] for d in lo["lo_orderdate"]])
+    mask = (
+        (lo["lo_discount"] >= 1) & (lo["lo_discount"] <= 3)
+        & (lo["lo_quantity"] < 25) & (years == 1993)
+    )
+    return float(np.sum(lo["lo_extendedprice"][mask].astype(np.float64)
+                        * lo["lo_discount"][mask].astype(np.float64)))
+
+
+def _reference_q21(db):
+    """Brute-force evaluation of q2.1 with plain NumPy."""
+    lo, supplier, part, date = db["lineorder"], db["supplier"], db["part"], db["date"]
+    america = supplier.encode_predicate_value("s_region", "AMERICA")
+    mfgr12 = part.encode_predicate_value("p_category", "MFGR#12")
+    supplier_ok = np.zeros(supplier.num_rows, dtype=bool)
+    supplier_ok[supplier["s_suppkey"][supplier["s_region"] == america]] = True
+    part_ok = np.zeros(part.num_rows, dtype=bool)
+    part_ok[part["p_partkey"][part["p_category"] == mfgr12]] = True
+    brand_of = np.zeros(part.num_rows, dtype=np.int64)
+    brand_of[part["p_partkey"]] = part["p_brand1"]
+    year_of = dict(zip(date["d_datekey"].tolist(), date["d_year"].tolist()))
+
+    mask = supplier_ok[lo["lo_suppkey"]] & part_ok[lo["lo_partkey"]]
+    groups = {}
+    for suppkey, partkey, orderdate, revenue, selected in zip(
+        lo["lo_suppkey"], lo["lo_partkey"], lo["lo_orderdate"], lo["lo_revenue"], mask
+    ):
+        if not selected:
+            continue
+        key = (int(year_of[int(orderdate)]), int(brand_of[partkey]))
+        groups[key] = groups.get(key, 0.0) + float(revenue)
+    return groups
+
+
+class TestFilterEvaluation:
+    def test_all_operators(self):
+        table = Table.from_arrays("t", {"x": np.array([1, 2, 3, 4, 5])})
+        assert list(evaluate_filter(table, FilterSpec("x", "eq", 3))) == [False, False, True, False, False]
+        assert list(evaluate_filter(table, FilterSpec("x", "ne", 3))) == [True, True, False, True, True]
+        assert evaluate_filter(table, FilterSpec("x", "lt", 3)).sum() == 2
+        assert evaluate_filter(table, FilterSpec("x", "le", 3)).sum() == 3
+        assert evaluate_filter(table, FilterSpec("x", "gt", 3)).sum() == 2
+        assert evaluate_filter(table, FilterSpec("x", "ge", 3)).sum() == 3
+        assert evaluate_filter(table, FilterSpec("x", "between", (2, 4))).sum() == 3
+        assert evaluate_filter(table, FilterSpec("x", "in", (1, 5))).sum() == 2
+
+    def test_unknown_operator(self):
+        table = Table.from_arrays("t", {"x": np.arange(3)})
+        with pytest.raises(ValueError):
+            evaluate_filter(table, FilterSpec("x", "like", 1))
+
+    def test_encoded_value_resolution(self):
+        table = Table(name="t")
+        table.add_encoded_column("region", ["ASIA", "AMERICA", "EUROPE"])
+        spec = FilterSpec("region", "eq", "ASIA", encoded=True)
+        assert resolve_filter_value(table, spec) == table.encode_predicate_value("region", "ASIA")
+        assert evaluate_filter(table, spec).sum() == 1
+
+    def test_encoded_in_and_between(self):
+        table = Table(name="t")
+        table.add_encoded_column("brand", ["MFGR#2221", "MFGR#2224", "MFGR#2228", "MFGR#2230"])
+        between = FilterSpec("brand", "between", ("MFGR#2221", "MFGR#2228"), encoded=True)
+        assert evaluate_filter(table, between).sum() == 3
+        member = FilterSpec("brand", "in", ("MFGR#2221", "MFGR#2230"), encoded=True)
+        assert evaluate_filter(table, member).sum() == 2
+
+    def test_encoded_without_dictionary_raises(self):
+        table = Table.from_arrays("t", {"x": np.arange(3)})
+        with pytest.raises(KeyError):
+            resolve_filter_value(table, FilterSpec("x", "eq", "A", encoded=True))
+
+    def test_evaluate_filters_conjunction(self):
+        table = Table.from_arrays("t", {"x": np.arange(10)})
+        mask = evaluate_filters(table, [FilterSpec("x", "ge", 3), FilterSpec("x", "lt", 7)])
+        assert mask.sum() == 4
+        assert evaluate_filters(table, []).all()
+
+
+class TestExecuteQuery:
+    def test_q11_matches_reference(self, tiny_ssb):
+        value, profile = execute_query(tiny_ssb, QUERIES["q1.1"])
+        assert value == pytest.approx(_reference_q11(tiny_ssb))
+        assert profile.num_groups == 1
+        assert 0 < profile.fact_filter_selectivity < 1
+
+    def test_q21_matches_reference(self, tiny_ssb):
+        value, profile = execute_query(tiny_ssb, QUERIES["q2.1"])
+        assert value == _reference_q21(tiny_ssb)
+        assert profile.num_groups == len(value)
+        assert len(profile.joins) == 3
+
+    def test_profile_join_selectivities(self, tiny_ssb):
+        _, profile = execute_query(tiny_ssb, QUERIES["q2.1"])
+        supplier_stage = profile.joins[0]
+        part_stage = profile.joins[1]
+        assert supplier_stage.selectivity == pytest.approx(0.2, abs=0.1)
+        assert part_stage.selectivity == pytest.approx(1 / 25, abs=0.03)
+
+    def test_profile_column_access_rule(self, tiny_ssb):
+        _, profile = execute_query(tiny_ssb, QUERIES["q2.1"])
+        selective = profile.selective_column_bytes(64)
+        full = profile.fact_bytes_accessed_full()
+        assert selective <= full
+        # The first join key is always a full-column scan.
+        first_key = next(a for a in profile.column_accesses if a.role == "join_key")
+        assert first_key.rows_needed == profile.fact_rows
+
+    def test_group_keys_decode_to_plausible_values(self, tiny_ssb):
+        value, _ = execute_query(tiny_ssb, QUERIES["q2.1"])
+        years = {key[0] for key in value}
+        assert years <= set(range(1992, 1999))
+
+    def test_every_query_executes(self, tiny_ssb):
+        for name, query in QUERIES.items():
+            value, profile = execute_query(tiny_ssb, query)
+            if query.has_group_by:
+                assert isinstance(value, dict)
+            else:
+                assert isinstance(value, float)
+            assert profile.fact_rows == tiny_ssb["lineorder"].num_rows
+
+    def test_aggregates_are_non_negative(self, tiny_ssb):
+        for name in ("q1.1", "q2.1", "q3.1", "q4.1"):
+            value, _ = execute_query(tiny_ssb, QUERIES[name])
+            if isinstance(value, dict):
+                assert all(v >= 0 for v in value.values())
+            else:
+                assert value >= 0

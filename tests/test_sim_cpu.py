@@ -1,0 +1,116 @@
+"""Tests for the CPU performance simulator."""
+
+import pytest
+
+from repro.hardware.counters import TrafficCounter
+from repro.hardware.presets import INTEL_I7_6900
+
+
+class TestBandwidthPrimitives:
+    def test_sequential_read_time(self, cpu_sim):
+        # 53 GB at 53 GBps is one second.
+        assert cpu_sim.sequential_read_seconds(53e9) == pytest.approx(1.0)
+
+    def test_non_temporal_writes_are_faster(self, cpu_sim):
+        regular = cpu_sim.sequential_write_seconds(1e9, non_temporal=False)
+        streaming = cpu_sim.sequential_write_seconds(1e9, non_temporal=True)
+        assert streaming < regular
+
+    def test_zero_bytes_is_free(self, cpu_sim):
+        assert cpu_sim.sequential_read_seconds(0) == 0.0
+        assert cpu_sim.sequential_write_seconds(0) == 0.0
+
+
+class TestComputeAndBranches:
+    def test_simd_speeds_up_compute(self, cpu_sim):
+        scalar = cpu_sim.compute_seconds(1e9, simd=False)
+        simd = cpu_sim.compute_seconds(1e9, simd=True)
+        assert simd == pytest.approx(scalar / INTEL_I7_6900.simd_lanes_32bit)
+
+    def test_branch_penalty_scales_with_miss_rate(self, cpu_sim):
+        low = cpu_sim.branch_miss_seconds(1e9, miss_rate=0.1)
+        high = cpu_sim.branch_miss_seconds(1e9, miss_rate=0.5)
+        assert high > low > 0.0
+        assert cpu_sim.branch_miss_seconds(1e9, miss_rate=0.0) == 0.0
+
+
+class TestRandomAccess:
+    def test_service_level_depends_on_working_set(self, cpu_sim):
+        _, level_small = cpu_sim.random_access_seconds(1e6, 64 * 1024)
+        _, level_mid = cpu_sim.random_access_seconds(1e6, 4 * 2**20)
+        _, level_large = cpu_sim.random_access_seconds(1e6, 256 * 2**20)
+        assert level_small == "L2"
+        assert level_mid == "L3"
+        assert level_large == "DRAM"
+
+    def test_larger_working_sets_are_slower(self, cpu_sim):
+        t_small, _ = cpu_sim.random_access_seconds(1e7, 64 * 1024)
+        t_mid, _ = cpu_sim.random_access_seconds(1e7, 4 * 2**20)
+        t_large, _ = cpu_sim.random_access_seconds(1e7, 256 * 2**20)
+        assert t_small < t_mid < t_large
+
+    def test_dependent_probes_are_slower(self, cpu_sim):
+        independent, _ = cpu_sim.random_access_seconds(1e7, 4 * 2**20, dependent=False)
+        dependent, _ = cpu_sim.random_access_seconds(1e7, 4 * 2**20, dependent=True)
+        assert dependent > independent
+
+    def test_random_efficiency_override(self, cpu_sim):
+        slow, _ = cpu_sim.random_access_seconds(1e7, 1 << 30, random_efficiency=0.5)
+        fast, _ = cpu_sim.random_access_seconds(1e7, 1 << 30, random_efficiency=0.9)
+        assert fast < slow
+
+    def test_zero_accesses_are_free(self, cpu_sim):
+        assert cpu_sim.random_access_seconds(0, 1 << 30) == (0.0, "none")
+
+
+class TestRunOperator:
+    def test_bandwidth_bound_operator(self, cpu_sim):
+        traffic = TrafficCounter(sequential_read_bytes=53e9)
+        execution = cpu_sim.run(traffic)
+        assert execution.seconds == pytest.approx(1.0, rel=0.01)
+
+    def test_compute_bound_operator(self, cpu_sim):
+        # Tiny memory traffic but an enormous amount of scalar math.
+        traffic = TrafficCounter(sequential_read_bytes=1e6, compute_ops=1e12)
+        execution = cpu_sim.run(traffic, use_simd=False)
+        assert execution.seconds > 10.0
+
+    def test_simd_turns_compute_bound_into_bandwidth_bound(self, cpu_sim):
+        traffic = TrafficCounter(sequential_read_bytes=5.3e9, compute_ops=2e10)
+        scalar = cpu_sim.run(traffic, use_simd=False)
+        simd = cpu_sim.run(traffic, use_simd=True)
+        assert simd.seconds < scalar.seconds
+
+    def test_dram_random_traffic_adds_to_streaming(self, cpu_sim):
+        streaming_only = cpu_sim.run(TrafficCounter(sequential_read_bytes=5.3e9))
+        with_probes = cpu_sim.run(
+            TrafficCounter(
+                sequential_read_bytes=5.3e9,
+                random_accesses=5e7,
+                random_working_set_bytes=1 << 30,
+            )
+        )
+        assert with_probes.seconds > streaming_only.seconds * 1.5
+
+    def test_cache_resident_probes_overlap_with_streaming(self, cpu_sim):
+        streaming_only = cpu_sim.run(TrafficCounter(sequential_read_bytes=5.3e9))
+        with_probes = cpu_sim.run(
+            TrafficCounter(
+                sequential_read_bytes=5.3e9,
+                random_accesses=1e6,
+                random_working_set_bytes=64 * 1024,
+            )
+        )
+        assert with_probes.seconds == pytest.approx(streaming_only.seconds, rel=0.05)
+
+    def test_fewer_cores_reduce_streaming_bandwidth(self, cpu_sim):
+        traffic = TrafficCounter(sequential_read_bytes=53e9)
+        all_cores = cpu_sim.run(traffic, cores=8)
+        few_cores = cpu_sim.run(traffic, cores=2)
+        assert few_cores.seconds > all_cores.seconds
+
+    def test_execution_records_configuration(self, cpu_sim):
+        execution = cpu_sim.run(TrafficCounter(sequential_read_bytes=1e6), use_simd=True, label="x")
+        assert execution.used_simd is True
+        assert execution.label == "x"
+        assert execution.cores_used == INTEL_I7_6900.cores

@@ -1,0 +1,132 @@
+"""Tests for the columnar storage substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.memory import Device
+from repro.storage import Column, Database, DictionaryEncoder, Table
+
+
+class TestColumn:
+    def test_basic_properties(self):
+        column = Column("x", np.arange(10, dtype=np.int32))
+        assert len(column) == 10
+        assert column.itemsize == 4
+        assert column.nbytes == 40
+        assert column.min() == 0 and column.max() == 9
+        assert column.distinct_count() == 10
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(ValueError):
+            Column("x", np.zeros((2, 2)))
+
+    def test_to_device_shares_data(self):
+        column = Column("x", np.arange(4))
+        moved = column.to_device(Device.GPU)
+        assert moved.device is Device.GPU
+        assert moved.values is column.values
+
+
+class TestDictionaryEncoder:
+    def test_encode_decode_round_trip(self):
+        encoder = DictionaryEncoder.from_values(["ASIA", "AMERICA", "ASIA", "EUROPE"])
+        codes = encoder.encode(["ASIA", "EUROPE", "AMERICA"])
+        assert encoder.decode(codes) == ["ASIA", "EUROPE", "AMERICA"]
+        assert len(encoder) == 3
+
+    def test_codes_are_sorted_lexicographically(self):
+        """Sorted code assignment keeps range predicates on encoded columns valid."""
+        encoder = DictionaryEncoder.from_values(["MFGR#2228", "MFGR#2221", "MFGR#2225"])
+        assert encoder.encode_value("MFGR#2221") < encoder.encode_value("MFGR#2225")
+        assert encoder.encode_value("MFGR#2225") < encoder.encode_value("MFGR#2228")
+
+    def test_unknown_value_raises(self):
+        encoder = DictionaryEncoder.from_values(["A"])
+        with pytest.raises(KeyError):
+            encoder.encode_value("B")
+
+    def test_contains_and_width(self):
+        encoder = DictionaryEncoder.from_values([str(i) for i in range(300)])
+        assert "5" in encoder
+        assert encoder.width_bytes == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=50))
+    def test_round_trip_property(self, values):
+        encoder = DictionaryEncoder.from_values(values)
+        assert encoder.decode(encoder.encode(values)) == [str(v) for v in values]
+
+
+class TestTable:
+    def _table(self):
+        return Table.from_arrays("t", {"a": np.arange(5, dtype=np.int32), "b": np.ones(5, dtype=np.int32)})
+
+    def test_from_arrays_and_access(self):
+        table = self._table()
+        assert table.num_rows == 5
+        assert table.num_columns == 2
+        assert "a" in table
+        assert list(table["a"]) == [0, 1, 2, 3, 4]
+
+    def test_rejects_mismatched_column(self):
+        table = self._table()
+        with pytest.raises(ValueError):
+            table.add_column(Column("c", np.arange(3)))
+
+    def test_missing_column_message(self):
+        with pytest.raises(KeyError, match="available"):
+            self._table().column("zzz")
+
+    def test_encoded_column_and_predicate_rewrite(self):
+        table = Table(name="supplier")
+        table.add_encoded_column("s_region", ["ASIA", "AMERICA", "ASIA"])
+        assert table.num_rows == 3
+        code = table.encode_predicate_value("s_region", "ASIA")
+        assert list(table["s_region"] == code) == [True, False, True]
+
+    def test_encode_predicate_requires_dictionary(self):
+        with pytest.raises(KeyError):
+            self._table().encode_predicate_value("a", "x")
+
+    def test_select_rows(self):
+        table = self._table()
+        subset = table.select_rows(np.array([0, 2]))
+        assert subset.num_rows == 2
+        assert list(subset["a"]) == [0, 2]
+
+    def test_bytes_for(self):
+        table = self._table()
+        assert table.bytes_for(["a", "b"]) == table.nbytes == 40
+
+
+class TestDatabase:
+    def test_add_and_lookup(self):
+        db = Database("test")
+        db.add_table(Table.from_arrays("t", {"a": np.arange(3)}))
+        assert "t" in db
+        assert db["t"].num_rows == 3
+        with pytest.raises(ValueError):
+            db.add_table(Table.from_arrays("t", {"a": np.arange(3)}))
+        with pytest.raises(KeyError):
+            db.table("missing")
+
+    def test_fits_on_device(self):
+        db = Database("test")
+        db.add_table(Table.from_arrays("t", {"a": np.zeros(1000, dtype=np.int32)}))
+        assert db.fits_on_device(1 << 20)
+        assert not db.fits_on_device(1000)
+        with pytest.raises(ValueError):
+            db.fits_on_device(0)
+
+    def test_summary_mentions_tables(self):
+        db = Database("test")
+        db.add_table(Table.from_arrays("lineorder", {"a": np.arange(10)}))
+        assert "lineorder" in db.summary()
+
+    def test_to_device(self):
+        db = Database("test")
+        db.add_table(Table.from_arrays("t", {"a": np.arange(3)}))
+        moved = db.to_device(Device.GPU)
+        assert moved["t"].column("a").device is Device.GPU
