@@ -1,4 +1,4 @@
-"""Quickstart: generate an SSB database and run a query on both devices.
+"""Quickstart: generate an SSB database and run queries through a Session.
 
 Run with::
 
@@ -7,10 +7,11 @@ Run with::
 
 from __future__ import annotations
 
+from repro import Session, generate_ssb
 from repro.analysis import scale_profile
-from repro.engine import CPUStandaloneEngine, GPUStandaloneEngine, execute_query
+from repro.engine import execute_query
 from repro.hardware import bandwidth_ratio
-from repro.ssb import QUERIES, generate_ssb
+from repro.ssb import QUERIES
 
 
 def main() -> None:
@@ -21,12 +22,14 @@ def main() -> None:
     print(db.summary())
     print()
 
-    # 2. Run SSB q2.1 on the standalone CPU engine and on the tile-based
-    #    (Crystal) GPU engine.  Both return the exact query answer plus a
-    #    simulated runtime on the paper's Intel i7-6900 / Nvidia V100.
+    # 2. Run SSB q2.1 through the Session facade on the standalone CPU engine
+    #    and on the tile-based (Crystal) GPU engine.  Both return the exact
+    #    query answer plus a simulated runtime on the paper's Intel i7-6900 /
+    #    Nvidia V100.
+    session = Session(db)
     query = QUERIES["q2.1"]
-    cpu_result = CPUStandaloneEngine(db).run(query)
-    gpu_result = GPUStandaloneEngine(db).run(query)
+    cpu_result = session.run(query, engine="cpu")
+    gpu_result = session.run(query, engine="gpu")
 
     print(f"query {query.name}: {query.description}")
     print(f"  result groups          : {cpu_result.rows}")
@@ -37,20 +40,24 @@ def main() -> None:
           f"(memory bandwidth ratio is {bandwidth_ratio():.1f}x)")
     print()
 
-    # 3. Project the same query to the paper's scale factor (SF 20, a 120M-row
+    # 3. Compare all three of the paper's execution strategies in one call.
+    print(session.compare(query))
+    print()
+
+    # 4. Project the same query to the paper's scale factor (SF 20, a 120M-row
     #    fact table).  At small scale factors fixed kernel overheads dominate;
     #    at SF 20 the full latency-hiding advantage of the GPU shows up.
     _, profile = execute_query(db, query)
     scaled = scale_profile(profile, base_scale_factor=0.05, target_scale_factor=20.0)
-    cpu_sf20 = CPUStandaloneEngine(db).simulate(query, scaled)
-    gpu_sf20 = GPUStandaloneEngine(db).simulate(query, scaled)
+    cpu_sf20 = session.engine("cpu").simulate(query, scaled)
+    gpu_sf20 = session.engine("gpu").simulate(query, scaled)
     print("at the paper's SF 20 (projected):")
     print(f"  CPU simulated runtime  : {cpu_sf20.total_ms:8.2f} ms   (paper measured 125 ms)")
     print(f"  GPU simulated runtime  : {gpu_sf20.total_ms:8.2f} ms   (paper measured 3.86 ms)")
     print(f"  GPU speedup            : {cpu_sf20.total_ms / gpu_sf20.total_ms:8.1f}x")
     print()
 
-    # 4. Inspect where the GPU kernel spends its time.
+    # 5. Inspect where the GPU kernel spends its time.
     print("GPU time breakdown (ms):")
     for component, seconds in sorted(gpu_result.time.components.items()):
         if seconds > 0:

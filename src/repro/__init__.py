@@ -5,6 +5,9 @@ built and evaluated by Shanbhag, Madden, and Yu in *A Study of the
 Fundamental Performance Characteristics of GPUs and CPUs for Database
 Analytics*:
 
+* :mod:`repro.api` -- the unified query API: the fluent :func:`Q` builder
+  for arbitrary star-schema queries, the engine registry, and the
+  :class:`Session` facade that dispatches to any engine by name.
 * :mod:`repro.crystal` -- the Crystal library of block-wide functions and
   the tile-based execution model (the paper's primary contribution).
 * :mod:`repro.ops` -- CPU and GPU implementations of project, select, hash
@@ -22,17 +25,65 @@ Analytics*:
 
 Quickstart::
 
-    from repro.ssb import generate_ssb
-    from repro.engine import CPUStandaloneEngine, GPUStandaloneEngine
-    from repro.ssb.queries import QUERIES
+    from repro import Q, Session, QUERIES, generate_ssb
 
     db = generate_ssb(scale_factor=0.01, seed=42)
-    cpu = CPUStandaloneEngine(db)
-    gpu = GPUStandaloneEngine(db)
-    result = gpu.run(QUERIES["q2.1"])
+    session = Session(db)
+
+    # A canonical SSB query on the GPU engine.
+    result = session.run(QUERIES["q2.1"], engine="gpu")
     print(result.simulated_ms, result.rows)
+
+    # An ad-hoc query, compared across execution strategies.
+    orders = (
+        Q("lineorder")
+        .filter("lo_quantity", "lt", 25)
+        .join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+        .group_by("d_year")
+        .agg("count")
+    )
+    print(session.compare(orders, engines=["cpu", "gpu", "coprocessor"]))
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+from repro.api import (
+    Q,
+    QueryBuilder,
+    QueryValidationError,
+    Session,
+    available_engines,
+    register_engine,
+)
+from repro.engine import (
+    CoprocessorEngine,
+    CPUStandaloneEngine,
+    GPUStandaloneEngine,
+    HyperLikeEngine,
+    JoinOrderPlanner,
+    MonetDBLikeEngine,
+    OmnisciLikeEngine,
+    QueryResult,
+)
+from repro.ssb import QUERIES, SSBQuery, generate_ssb
+
+__all__ = [
+    "CPUStandaloneEngine",
+    "CoprocessorEngine",
+    "GPUStandaloneEngine",
+    "HyperLikeEngine",
+    "JoinOrderPlanner",
+    "MonetDBLikeEngine",
+    "OmnisciLikeEngine",
+    "Q",
+    "QUERIES",
+    "QueryBuilder",
+    "QueryResult",
+    "QueryValidationError",
+    "SSBQuery",
+    "Session",
+    "available_engines",
+    "generate_ssb",
+    "register_engine",
+    "__version__",
+]

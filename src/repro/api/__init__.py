@@ -1,0 +1,43 @@
+"""Unified query API: fluent builder, engine registry, and Session facade.
+
+This package is the one entry point for composing and executing arbitrary
+star-schema queries:
+
+* :mod:`repro.api.builder` -- :func:`Q` / :class:`QueryBuilder`, a fluent,
+  schema-validating builder that emits the declarative
+  :class:`~repro.ssb.queries.SSBQuery` specs every engine understands.
+* :mod:`repro.api.registry` -- the :class:`Engine` protocol, the
+  string-keyed :class:`EngineRegistry`, and the :func:`register_engine`
+  decorator the six built-in engines (and user engines) plug into.
+* :mod:`repro.api.session` -- :class:`Session`, which binds a database to
+  the registry: ``run``, ``run_many``, and ``compare`` across engines, with
+  an ``optimize=True`` path through the join-order planner.
+"""
+
+from repro.api.builder import Q, QueryBuilder, QueryValidationError
+from repro.api.registry import (
+    DEFAULT_REGISTRY,
+    Engine,
+    EngineRegistry,
+    available_engines,
+    register_engine,
+)
+from repro.api.session import Comparison, ComparisonRow, Session
+
+# Importing the engine package registers the six built-in engines with
+# DEFAULT_REGISTRY (each engine class carries a @register_engine decorator).
+import repro.engine  # noqa: E402,F401
+
+__all__ = [
+    "Comparison",
+    "ComparisonRow",
+    "DEFAULT_REGISTRY",
+    "Engine",
+    "EngineRegistry",
+    "Q",
+    "QueryBuilder",
+    "QueryValidationError",
+    "Session",
+    "available_engines",
+    "register_engine",
+]

@@ -1,0 +1,197 @@
+"""The Session facade: one entry point for running queries on any engine.
+
+A :class:`Session` binds a :class:`~repro.storage.Database` to the engine
+registry and exposes a uniform execution surface::
+
+    session = Session(db)
+    result = session.run(QUERIES["q2.1"], engine="gpu")
+    results = session.run_many(QUERIES.values(), engine="cpu")
+    table = session.compare(my_query, engines=["cpu", "gpu", "coprocessor"])
+    print(table)
+
+Queries can be :class:`~repro.ssb.queries.SSBQuery` specs or (unbuilt)
+:class:`~repro.api.builder.QueryBuilder` instances -- builders are built
+(and schema-validated) against the session's database automatically.  With
+``optimize=True`` the query's joins are rearranged into the cheapest order
+by :class:`~repro.engine.planner.JoinOrderPlanner` before execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.api.builder import QueryBuilder
+from repro.api.registry import DEFAULT_REGISTRY, Engine, EngineRegistry
+from repro.engine.planner import JoinOrderPlanner
+from repro.engine.result import QueryResult
+from repro.ssb.queries import SSBQuery
+from repro.storage import Database
+
+#: The engines Session.compare uses when none are named: the paper's three
+#: execution strategies (Figure 3's comparison).
+DEFAULT_COMPARE_ENGINES = ("cpu", "gpu", "coprocessor")
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One engine's line in a comparison table."""
+
+    engine: str
+    simulated_ms: float
+    rows: int
+    agrees: bool
+    speedup_vs_slowest: float
+
+
+class Comparison:
+    """Tidy per-engine results of one query run on several engines."""
+
+    def __init__(self, query: SSBQuery, results: dict[str, QueryResult]) -> None:
+        self.query = query
+        self.results = results
+
+    @property
+    def consistent(self) -> bool:
+        """Whether every engine produced the identical answer."""
+        values = [result.value for result in self.results.values()]
+        return all(value == values[0] for value in values)
+
+    @property
+    def fastest(self) -> str:
+        """Registry key of the engine with the lowest simulated time."""
+        return min(self.results, key=lambda key: self.results[key].simulated_ms)
+
+    def rows(self) -> list[ComparisonRow]:
+        """Per-engine summary rows, fastest first."""
+        reference = next(iter(self.results.values())).value
+        slowest_ms = max(result.simulated_ms for result in self.results.values())
+        rows = [
+            ComparisonRow(
+                engine=key,
+                simulated_ms=result.simulated_ms,
+                rows=result.rows,
+                agrees=result.value == reference,
+                speedup_vs_slowest=(
+                    slowest_ms / result.simulated_ms if result.simulated_ms else float("inf")
+                ),
+            )
+            for key, result in self.results.items()
+        ]
+        return sorted(rows, key=lambda row: row.simulated_ms)
+
+    def as_dicts(self) -> list[dict]:
+        """The comparison as tidy records (one dict per engine)."""
+        return [
+            {
+                "query": self.query.name,
+                "engine": row.engine,
+                "simulated_ms": row.simulated_ms,
+                "rows": row.rows,
+                "agrees": row.agrees,
+                "speedup_vs_slowest": row.speedup_vs_slowest,
+            }
+            for row in self.rows()
+        ]
+
+    def __str__(self) -> str:
+        lines = [f"query {self.query.name}: {len(self.results)} engines, consistent={self.consistent}"]
+        lines.append(f"  {'engine':<16} {'simulated_ms':>12} {'rows':>8} {'agrees':>7} {'speedup':>8}")
+        for row in self.rows():
+            lines.append(
+                f"  {row.engine:<16} {row.simulated_ms:>12.4f} {row.rows:>8} "
+                f"{str(row.agrees):>7} {row.speedup_vs_slowest:>7.1f}x"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Comparison({self.query.name!r}, engines={sorted(self.results)})"
+
+
+class Session:
+    """A database bound to the engine registry and the join-order planner."""
+
+    def __init__(
+        self,
+        db: Database,
+        *,
+        registry: EngineRegistry | None = None,
+        planner: JoinOrderPlanner | None = None,
+    ) -> None:
+        self.db = db
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._planner = planner
+        self._engines: dict[str, Engine] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def planner(self) -> JoinOrderPlanner:
+        """The (lazily constructed) join-order planner for this database."""
+        if self._planner is None:
+            self._planner = JoinOrderPlanner(self.db)
+        return self._planner
+
+    def engine(self, name: str) -> Engine:
+        """The engine registered under ``name``, instantiated once per session."""
+        key = self.registry.resolve(name)
+        if key not in self._engines:
+            self._engines[key] = self.registry.create(key, self.db)
+        return self._engines[key]
+
+    def prepare(self, query: SSBQuery | QueryBuilder, *, optimize: bool = False) -> SSBQuery:
+        """Resolve a builder into a validated spec, optionally reordering joins.
+
+        ``optimize=True`` reorders the joins cost-based when the planner can
+        identify them uniquely; a query joining the same dimension twice (a
+        role-playing dimension) executes in its written order instead.
+        """
+        if isinstance(query, QueryBuilder):
+            query = query.build(self.db)
+        if not isinstance(query, SSBQuery):
+            raise TypeError(f"expected an SSBQuery or QueryBuilder, got {type(query).__name__}")
+        dimensions = {join.dimension for join in query.joins}
+        if optimize and len(query.joins) > 1 and len(dimensions) == len(query.joins):
+            query = self.planner.reorder(query)
+        return query
+
+    # ------------------------------------------------------------------
+    def run(
+        self, query: SSBQuery | QueryBuilder, engine: str = "cpu", *, optimize: bool = False
+    ) -> QueryResult:
+        """Execute one query on one engine."""
+        return self.engine(engine).run(self.prepare(query, optimize=optimize))
+
+    def run_many(
+        self,
+        queries: Iterable[SSBQuery | QueryBuilder],
+        engine: str = "cpu",
+        *,
+        optimize: bool = False,
+    ) -> list[QueryResult]:
+        """Execute a batch of queries on one engine."""
+        chosen = self.engine(engine)
+        return [chosen.run(self.prepare(query, optimize=optimize)) for query in queries]
+
+    def compare(
+        self,
+        query: SSBQuery | QueryBuilder,
+        engines: Sequence[str] | None = None,
+        *,
+        optimize: bool = False,
+    ) -> Comparison:
+        """Run one query on several engines and tabulate the results."""
+        if isinstance(engines, str):
+            engines = (engines,)
+        names = tuple(engines) if engines is not None else DEFAULT_COMPARE_ENGINES
+        if not names:
+            raise ValueError("compare needs at least one engine")
+        resolved = [self.registry.resolve(name) for name in names]
+        duplicates = sorted({key for key in resolved if resolved.count(key) > 1})
+        if duplicates:
+            raise ValueError(f"engine(s) listed more than once in compare: {duplicates}")
+        prepared = self.prepare(query, optimize=optimize)
+        results = {key: self.engine(key).run(prepared) for key in resolved}
+        return Comparison(prepared, results)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Session(db={self.db.name!r}, engines={self.registry.names()})"

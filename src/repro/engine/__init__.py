@@ -19,6 +19,12 @@ Engines:
 * :mod:`repro.engine.baselines` -- calibrated models of the comparison
   systems (Hyper, MonetDB, OmniSci) that execute the same queries with those
   systems' documented execution strategies.
+
+Every engine conforms to the :class:`repro.api.Engine` protocol (a ``name``
+attribute plus ``run(query) -> QueryResult``) and registers itself with the
+default engine registry under a short key (``"cpu"``, ``"gpu"``,
+``"coprocessor"``, ``"hyper"``, ``"monetdb"``, ``"omnisci"``), so
+:class:`repro.api.Session` can dispatch to any of them by name.
 """
 
 from repro.engine.baselines import HyperLikeEngine, MonetDBLikeEngine, OmnisciLikeEngine

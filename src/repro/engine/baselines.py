@@ -25,6 +25,7 @@ strategy* on the same simulated hardware:
 
 from __future__ import annotations
 
+from repro.api.registry import register_engine
 from repro.engine.plan import QueryProfile, execute_query
 from repro.engine.result import QueryResult
 from repro.hardware.counters import TrafficCounter
@@ -38,6 +39,7 @@ from repro.storage import Database
 _UNCOALESCED_SECTOR_BYTES = 32
 
 
+@register_engine("hyper")
 class HyperLikeEngine:
     """A compiled, pipelined CPU OLAP engine without hand-tuned SIMD."""
 
@@ -99,6 +101,7 @@ class HyperLikeEngine:
                            stats={"groups": float(profile.num_groups)})
 
 
+@register_engine("monetdb")
 class MonetDBLikeEngine:
     """An operator-at-a-time column engine with full intermediate materialization.
 
@@ -181,6 +184,7 @@ class MonetDBLikeEngine:
                            stats={"groups": float(profile.num_groups)})
 
 
+@register_engine("omnisci")
 class OmnisciLikeEngine:
     """A thread-per-row GPU engine without tile staging or coalesced output."""
 

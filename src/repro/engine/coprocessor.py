@@ -11,6 +11,7 @@ a good CPU implementation on every SSB query (Figure 3).
 
 from __future__ import annotations
 
+from repro.api.registry import register_engine
 from repro.engine.gpu_engine import GPUStandaloneEngine
 from repro.engine.plan import QueryProfile, execute_query
 from repro.engine.result import QueryResult
@@ -23,6 +24,7 @@ from repro.ssb.queries import SSBQuery
 from repro.storage import Database
 
 
+@register_engine("coprocessor", aliases=("gpu-coprocessor",))
 class CoprocessorEngine:
     """GPU coprocessor: ship columns over PCIe for every query."""
 

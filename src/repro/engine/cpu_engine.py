@@ -14,6 +14,7 @@ Execution strategy (Section 5.2, "Standalone CPU"):
 
 from __future__ import annotations
 
+from repro.api.registry import register_engine
 from repro.engine.plan import QueryProfile, execute_query
 from repro.engine.result import QueryResult
 from repro.hardware.counters import TrafficCounter
@@ -23,6 +24,7 @@ from repro.ssb.queries import SSBQuery
 from repro.storage import Database
 
 
+@register_engine("cpu", aliases=("standalone-cpu",))
 class CPUStandaloneEngine:
     """Pipelined, vectorized, SIMD CPU query engine."""
 

@@ -30,6 +30,20 @@ def evaluate_filter(table: Table, spec: FilterSpec) -> np.ndarray:
     """Evaluate one filter against a table, returning a boolean mask."""
     values = table[spec.column]
     constant = resolve_filter_value(table, spec)
+    if not spec.encoded and np.issubdtype(values.dtype, np.number):
+        operands = (
+            tuple(constant)
+            if isinstance(constant, (tuple, list, set, frozenset, np.ndarray))
+            else (constant,)
+        )
+        if any(isinstance(v, str) for v in operands):
+            # NumPy would resolve str-vs-numeric comparisons to a scalar False,
+            # silently selecting zero rows instead of failing.
+            raise TypeError(
+                f"filter on {spec.column!r} compares string constant(s) against a numeric "
+                f"column; mark the filter encoded=True or build the query against the "
+                f"database so constants are rewritten to dictionary codes"
+            )
     op = spec.op
     if op == "eq":
         return values == constant

@@ -16,6 +16,7 @@ Execution strategy (Sections 3.3 and 5.2, "Standalone GPU"):
 
 from __future__ import annotations
 
+from repro.api.registry import register_engine
 from repro.engine.plan import QueryProfile, execute_query
 from repro.engine.result import QueryResult
 from repro.hardware.counters import TrafficCounter
@@ -29,6 +30,7 @@ from repro.storage import Database
 SSB_LAUNCH = KernelLaunch(threads_per_block=256, items_per_thread=8, label="ssb-fused-probe")
 
 
+@register_engine("gpu", aliases=("standalone-gpu",))
 class GPUStandaloneEngine:
     """Tile-based GPU query engine with the working set resident in HBM."""
 

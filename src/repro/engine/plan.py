@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine.expr import evaluate_filters
-from repro.ssb.queries import SSBQuery
+from repro.ssb.queries import AGGREGATE_OPS, SSBQuery
 from repro.storage import Database, Table
 
 #: Bytes per dimension hash-table entry: a 4-byte key and a 4-byte payload
@@ -90,19 +90,66 @@ def _build_lookup(dimension: Table, key_column: str, mask: np.ndarray, payload_c
 
     Dimension keys in SSB are dense integers, so a perfect-hash array is both
     what a high-performance implementation would use and what the paper's
-    hash-table size estimate assumes.  Rows excluded by the dimension filter
-    map to -1 (no match).
+    hash-table size estimate assumes.  Returns ``(lookup, present)``: the
+    payload array and a parallel membership mask, so payload values carry no
+    in-band "no match" sentinel and may take any value (including negatives).
     """
     keys = dimension[key_column]
     max_key = int(keys.max()) if keys.shape[0] else 0
-    lookup = np.full(max_key + 1, -1, dtype=np.int64)
+    lookup = np.zeros(max_key + 1, dtype=np.int64)
+    present = np.zeros(max_key + 1, dtype=bool)
     if payload_column is not None:
         payload = dimension[payload_column].astype(np.int64)
     else:
         payload = np.zeros(keys.shape[0], dtype=np.int64)
     selected = np.flatnonzero(mask)
     lookup[keys[selected]] = payload[selected]
-    return lookup
+    present[keys[selected]] = True
+    return lookup, present
+
+
+def _scalar_aggregate(op: str, measure: np.ndarray | None, selected: np.ndarray) -> float | None:
+    """Reduce the selected measure values to one scalar under ``op``.
+
+    Over an empty selection, ``count`` is 0, ``sum`` is 0.0, and
+    ``min``/``max``/``avg`` are ``None`` (SQL's NULL): there is no row to
+    take a minimum of, and fabricating 0.0 would be indistinguishable from
+    a measured value.
+    """
+    if op == "count":
+        return float(selected.size)
+    if selected.size == 0:
+        return 0.0 if op == "sum" else None
+    values = measure[selected]
+    if op == "sum":
+        return float(values.sum())
+    if op == "min":
+        return float(values.min())
+    if op == "max":
+        return float(values.max())
+    return float(values.mean())  # avg
+
+
+def _grouped_aggregate(
+    op: str, measure: np.ndarray | None, selected: np.ndarray, inverse: np.ndarray, num_groups: int
+) -> np.ndarray:
+    """Per-group reduction of the selected measure values under ``op``.
+
+    Every group has at least one member (groups come from ``np.unique`` over
+    the selected rows), so the count divisor for ``avg`` is never zero.
+    """
+    if op == "count":
+        return np.bincount(inverse, minlength=num_groups).astype(np.float64)
+    values = measure[selected]
+    if op == "sum":
+        return np.bincount(inverse, weights=values, minlength=num_groups)
+    if op == "avg":
+        counts = np.bincount(inverse, minlength=num_groups)
+        return np.bincount(inverse, weights=values, minlength=num_groups) / counts
+    out = np.full(num_groups, np.inf if op == "min" else -np.inf)
+    reducer = np.minimum if op == "min" else np.maximum
+    reducer.at(out, inverse, values)
+    return out
 
 
 def execute_query(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
@@ -112,7 +159,7 @@ def execute_query(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
     flight-1 queries or a dict mapping group-key tuples (dictionary codes /
     integers) to the aggregate for grouped queries.
     """
-    fact = db.table("lineorder")
+    fact = db.table(query.fact)
     n = fact.num_rows
     profile = QueryProfile(query=query.name, fact_rows=n, fact_filter_selectivity=1.0)
 
@@ -138,7 +185,7 @@ def execute_query(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
         dimension = db.table(join.dimension)
         dim_mask = evaluate_filters(dimension, join.filters)
         build_rows = int(np.count_nonzero(dim_mask))
-        lookup = _build_lookup(dimension, join.dimension_key, dim_mask, join.payload)
+        lookup, present = _build_lookup(dimension, join.dimension_key, dim_mask, join.payload)
 
         fact_keys = fact[join.fact_key]
         column_bytes = float(fact.column(join.fact_key).nbytes)
@@ -146,11 +193,13 @@ def execute_query(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
             ColumnAccess(column=join.fact_key, column_bytes=column_bytes, rows_needed=rows_alive, role="join_key")
         )
 
-        payload_codes = np.full(n, -1, dtype=np.int64)
-        valid_key = fact_keys < lookup.shape[0]
+        payload_codes = np.zeros(n, dtype=np.int64)
+        valid_key = (fact_keys >= 0) & (fact_keys < lookup.shape[0])
         candidate = alive & valid_key
-        payload_codes[candidate] = lookup[fact_keys[candidate]]
-        matched = candidate & (payload_codes >= 0)
+        candidate_keys = fact_keys[candidate]
+        payload_codes[candidate] = lookup[candidate_keys]
+        matched = candidate.copy()
+        matched[candidate] = present[candidate_keys]
 
         probe_rows = rows_alive
         rows_alive_after = float(np.count_nonzero(matched))
@@ -178,6 +227,11 @@ def execute_query(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
         alive = matched
         rows_alive = rows_alive_after
         if join.payload is not None:
+            if join.payload in group_columns:
+                raise ValueError(
+                    f"payload column {join.payload!r} is produced by more than one join in "
+                    f"query {query.name!r}; payload names must be unique"
+                )
             group_columns[join.payload] = payload_codes
 
     profile.result_input_rows = rows_alive
@@ -186,6 +240,24 @@ def execute_query(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
     # Aggregate (and group-by)
     # ------------------------------------------------------------------
     agg = query.aggregate
+    if agg.op not in AGGREGATE_OPS:
+        raise ValueError(f"unsupported aggregate op {agg.op!r}; expected one of {AGGREGATE_OPS}")
+    if not agg.columns and agg.op != "count":
+        raise ValueError(f"aggregate op {agg.op!r} needs at least one measure column")
+    if agg.columns and agg.op == "count":
+        raise ValueError(
+            "'count' counts surviving rows and takes no measure columns; "
+            "charging a measure scan would distort the cost model"
+        )
+    if agg.combine is not None and len(agg.columns) != 2:
+        raise ValueError(
+            f"measure combinator {agg.combine!r} needs exactly two columns, got {len(agg.columns)}"
+        )
+    if agg.combine is None and len(agg.columns) > 1:
+        raise ValueError(
+            f"{len(agg.columns)} measure columns need a combinator ('mul' or 'sub')"
+        )
+
     measure_columns = []
     for column in agg.columns:
         column_bytes = float(fact.column(column).nbytes)
@@ -194,28 +266,37 @@ def execute_query(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
         )
         measure_columns.append(fact[column].astype(np.float64))
 
-    if agg.combine == "mul":
+    if not measure_columns:
+        measure = None  # count: no measure expression needed
+    elif agg.combine == "mul":
         measure = measure_columns[0] * measure_columns[1]
     elif agg.combine == "sub":
         measure = measure_columns[0] - measure_columns[1]
-    else:
+    elif agg.combine is None:
         measure = measure_columns[0]
+    else:
+        raise ValueError(f"unsupported measure combinator {agg.combine!r}")
 
     selected = np.flatnonzero(alive)
     if not query.has_group_by:
-        value: object = float(measure[selected].sum()) if selected.size else 0.0
+        value: object = _scalar_aggregate(agg.op, measure, selected)
         profile.num_groups = 1
         profile.output_row_bytes = 8.0
         return value, profile
 
+    missing = [name for name in query.group_by if name not in group_columns]
+    if missing:
+        raise ValueError(
+            f"group-by column(s) {missing} are not payloads of any join in query {query.name!r}"
+        )
     key_arrays = [group_columns[name][selected] for name in query.group_by]
     if selected.size == 0:
         value = {}
     else:
         stacked = np.stack(key_arrays, axis=1)
         unique_keys, inverse = np.unique(stacked, axis=0, return_inverse=True)
-        sums = np.bincount(inverse, weights=measure[selected])
-        value = {tuple(int(x) for x in key): float(total) for key, total in zip(unique_keys, sums)}
+        totals = _grouped_aggregate(agg.op, measure, selected, inverse, unique_keys.shape[0])
+        value = {tuple(int(x) for x in key): float(total) for key, total in zip(unique_keys, totals)}
     profile.num_groups = max(len(value), 1)
     profile.output_row_bytes = float(8 + 4 * len(query.group_by))
     return value, profile

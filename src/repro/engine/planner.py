@@ -25,8 +25,25 @@ from repro.engine.expr import evaluate_filters
 from repro.engine.plan import HASH_ENTRY_BYTES
 from repro.hardware.presets import NVIDIA_V100
 from repro.hardware.specs import GPUSpec
-from repro.ssb.queries import SSBQuery
+from repro.ssb.queries import JoinSpec, SSBQuery
 from repro.storage import Database
+
+
+def joins_by_dimension(query: SSBQuery) -> dict[str, JoinSpec]:
+    """Map each dimension name to its join spec.
+
+    Join-order planning identifies joins by dimension name, so a query that
+    joins the same dimension twice (a role-playing dimension) cannot be
+    planned: collapsing the map silently would drop one join's filters and
+    corrupt the answer, so this raises instead.
+    """
+    mapping = {join.dimension: join for join in query.joins}
+    if len(mapping) != len(query.joins):
+        raise ValueError(
+            f"query {query.name!r} joins the same dimension more than once; "
+            f"join-order planning requires one join per dimension"
+        )
+    return mapping
 
 
 @dataclass(frozen=True)
@@ -50,9 +67,21 @@ class JoinOrderPlanner:
         """Fraction of fact rows that survive the join with ``dimension``.
 
         For SSB's uniform foreign keys this equals the fraction of dimension
-        rows that pass the dimension's own filters.
+        rows that pass the dimension's own filters.  Only raises when
+        ``dimension`` itself is missing or joined more than once; other
+        role-playing joins in the query do not make this answer ambiguous.
         """
-        join = next(j for j in query.joins if j.dimension == dimension)
+        matches = [join for join in query.joins if join.dimension == dimension]
+        if not matches:
+            raise KeyError(f"query {query.name!r} has no join with dimension {dimension!r}")
+        if len(matches) > 1:
+            raise ValueError(
+                f"query {query.name!r} joins dimension {dimension!r} more than once; "
+                f"its selectivity is per-join, not per-dimension"
+            )
+        return self._join_selectivity(matches[0])
+
+    def _join_selectivity(self, join: JoinSpec) -> float:
         table = self.db.table(join.dimension)
         if not join.filters:
             return 1.0
@@ -61,24 +90,39 @@ class JoinOrderPlanner:
             return 1.0
         return float(np.count_nonzero(mask)) / table.num_rows
 
-    def estimate_order_cost(self, query: SSBQuery, order: tuple[str, ...], fact_rows: int) -> PlanChoice:
+    def estimate_order_cost(
+        self,
+        query: SSBQuery,
+        order: tuple[str, ...],
+        fact_rows: int,
+        *,
+        selectivity_by_dimension: dict[str, float] | None = None,
+    ) -> PlanChoice:
         """Estimate the probe-phase cost of one join order on the GPU model.
 
         The cost follows the Section 5.3 structure: each join's probes are
         charged one L2/global transaction for the fraction of its hash table
         that does not fit in cache, and each later fact column access shrinks
         with the cumulative selectivity.
+
+        Selectivities are order-independent; :meth:`enumerate` computes them
+        once and passes them via ``selectivity_by_dimension`` so the n!
+        candidate orders do not each re-scan the dimension tables.
         """
         line = self.spec.global_access_granularity_bytes
         l2 = float(self.spec.l2_capacity_bytes)
         read_bw = self.spec.global_read_bandwidth
 
-        selectivities = tuple(self.join_selectivity(query, dimension) for dimension in order)
+        joins = joins_by_dimension(query)
+        if selectivity_by_dimension is None:
+            selectivity_by_dimension = {
+                dimension: self._join_selectivity(join) for dimension, join in joins.items()
+            }
+        selectivities = tuple(selectivity_by_dimension[dimension] for dimension in order)
         seconds = 0.0
         surviving = float(fact_rows)
         for dimension, selectivity in zip(order, selectivities):
-            join = next(j for j in query.joins if j.dimension == dimension)
-            table = self.db.table(join.dimension)
+            table = self.db.table(joins[dimension].dimension)
             hash_table_bytes = HASH_ENTRY_BYTES * table.num_rows
             # Key column access for the surviving rows.
             seconds += min(4.0 * fact_rows, surviving * line) / read_bw
@@ -94,11 +138,16 @@ class JoinOrderPlanner:
     def enumerate(self, query: SSBQuery, fact_rows: int | None = None) -> list[PlanChoice]:
         """All join orders of ``query`` with their estimated costs, best first."""
         if fact_rows is None:
-            fact_rows = self.db.table("lineorder").num_rows
-        dimensions = [join.dimension for join in query.joins]
+            fact_rows = self.db.table(query.fact).num_rows
+        joins = joins_by_dimension(query)
+        selectivity_by_dimension = {
+            dimension: self._join_selectivity(join) for dimension, join in joins.items()
+        }
         choices = [
-            self.estimate_order_cost(query, order, fact_rows)
-            for order in itertools.permutations(dimensions)
+            self.estimate_order_cost(
+                query, order, fact_rows, selectivity_by_dimension=selectivity_by_dimension
+            )
+            for order in itertools.permutations(tuple(joins))
         ]
         return sorted(choices, key=lambda choice: choice.estimated_seconds)
 
@@ -109,6 +158,6 @@ class JoinOrderPlanner:
     def reorder(self, query: SSBQuery, fact_rows: int | None = None) -> SSBQuery:
         """Return ``query`` with its joins rearranged into the cheapest order."""
         best = self.best_order(query, fact_rows)
-        joins_by_dimension = {join.dimension: join for join in query.joins}
-        reordered = tuple(joins_by_dimension[d] for d in best.join_order)
+        joins = joins_by_dimension(query)
+        reordered = tuple(joins[d] for d in best.join_order)
         return replace(query, joins=reordered)

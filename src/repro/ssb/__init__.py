@@ -16,7 +16,24 @@ provides:
 """
 
 from repro.ssb.generator import generate_ssb
-from repro.ssb.queries import QUERIES, SSBQuery
+from repro.ssb.queries import (
+    QUERIES,
+    QUERY_ORDER,
+    AggregateSpec,
+    FilterSpec,
+    JoinSpec,
+    SSBQuery,
+)
 from repro.ssb.schema import SSB_CARDINALITIES, ssb_table_rows
 
-__all__ = ["QUERIES", "SSBQuery", "SSB_CARDINALITIES", "generate_ssb", "ssb_table_rows"]
+__all__ = [
+    "AggregateSpec",
+    "FilterSpec",
+    "JoinSpec",
+    "QUERIES",
+    "QUERY_ORDER",
+    "SSBQuery",
+    "SSB_CARDINALITIES",
+    "generate_ssb",
+    "ssb_table_rows",
+]

@@ -19,6 +19,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: Predicate operators understood by :mod:`repro.engine.expr`.
+FILTER_OPS = ("eq", "ne", "lt", "le", "gt", "ge", "between", "in")
+
+#: Aggregate operators understood by :func:`repro.engine.plan.execute_query`.
+AGGREGATE_OPS = ("sum", "count", "min", "max", "avg")
+
+#: Two-column measure combinators (``lo_extendedprice * lo_discount`` etc.).
+COMBINE_OPS = ("mul", "sub")
+
 
 @dataclass(frozen=True)
 class FilterSpec:
@@ -49,7 +58,13 @@ class JoinSpec:
 
 @dataclass(frozen=True)
 class AggregateSpec:
-    """The aggregate of a query: ``SUM`` over a one- or two-column expression."""
+    """The aggregate of a query.
+
+    ``op`` is one of ``sum``, ``count``, ``min``, ``max``, or ``avg``,
+    applied to a one- or two-column measure expression (``combine`` is
+    ``"mul"`` or ``"sub"`` for two columns, ``None`` for one).  ``count``
+    counts surviving rows and takes no measure columns.
+    """
 
     columns: tuple[str, ...]
     combine: str | None = None  # None, "mul", or "sub"
@@ -58,7 +73,13 @@ class AggregateSpec:
 
 @dataclass(frozen=True)
 class SSBQuery:
-    """One Star Schema Benchmark query."""
+    """One declarative star-schema query (canonical SSB or user-built).
+
+    ``fact`` names the fact table the filters, join keys, and measures are
+    evaluated against; the 13 canonical queries all use ``lineorder``, but
+    :class:`repro.api.QueryBuilder` can target any star schema loaded into a
+    :class:`~repro.storage.Database`.
+    """
 
     name: str
     flight: int
@@ -67,6 +88,7 @@ class SSBQuery:
     group_by: tuple[str, ...]
     aggregate: AggregateSpec
     description: str = ""
+    fact: str = "lineorder"
 
     @property
     def has_group_by(self) -> bool:

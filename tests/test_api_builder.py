@@ -1,0 +1,365 @@
+"""Tests for the fluent QueryBuilder: canonical re-expression and validation."""
+
+import pytest
+
+from repro.api import Q, QueryBuilder, QueryValidationError
+from repro.ssb.queries import QUERIES, FilterSpec, SSBQuery
+
+_Q3_YEARS = [FilterSpec("d_year", "between", (1992, 1997))]
+_UK = ("UNITED KI1", "UNITED KI5")
+
+
+def _flight1(name, date_filters, discount, quantity):
+    builder = (
+        Q("lineorder")
+        .named(name, flight=1,
+               description="revenue = SUM(lo_extendedprice * lo_discount) under "
+                           "date/discount/quantity filters")
+        .filter("lo_discount", "between", discount)
+        .filter(quantity.column, quantity.op, quantity.value)
+        .join("date", on=("lo_orderdate", "d_datekey"), filters=date_filters)
+        .agg("sum", "lo_extendedprice", "lo_discount", combine="mul")
+    )
+    return builder
+
+
+#: Every canonical SSB query, re-expressed through the fluent builder.
+BUILT: dict[str, QueryBuilder] = {
+    "q1.1": _flight1("q1.1", [FilterSpec("d_year", "eq", 1993)], (1, 3),
+                     FilterSpec("lo_quantity", "lt", 25)),
+    "q1.2": _flight1("q1.2", [FilterSpec("d_yearmonthnum", "eq", 199401)], (4, 6),
+                     FilterSpec("lo_quantity", "between", (26, 35))),
+    "q1.3": _flight1("q1.3", [FilterSpec("d_weeknuminyear", "eq", 6), FilterSpec("d_year", "eq", 1994)],
+                     (5, 7), FilterSpec("lo_quantity", "between", (26, 35))),
+    "q2.1": (
+        Q("lineorder")
+        .named("q2.1", flight=2,
+               description="SUM(lo_revenue) by year and brand for one category in one region")
+        .join("supplier", on=("lo_suppkey", "s_suppkey"),
+              filters=[("s_region", "eq", "AMERICA", True)])
+        .join("part", on=("lo_partkey", "p_partkey"),
+              filters=[("p_category", "eq", "MFGR#12", True)], payload="p_brand1")
+        .join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+        .group_by("d_year", "p_brand1")
+        .agg("sum", "lo_revenue")
+    ),
+    "q2.2": (
+        Q("lineorder")
+        .named("q2.2", flight=2,
+               description="SUM(lo_revenue) by year and brand for a brand range in ASIA")
+        .join("supplier", on=("lo_suppkey", "s_suppkey"),
+              filters=[("s_region", "eq", "ASIA", True)])
+        .join("part", on=("lo_partkey", "p_partkey"),
+              filters=[("p_brand1", "between", ("MFGR#2221", "MFGR#2228"), True)],
+              payload="p_brand1")
+        .join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+        .group_by("d_year", "p_brand1")
+        .agg("sum", "lo_revenue")
+    ),
+    "q2.3": (
+        Q("lineorder")
+        .named("q2.3", flight=2,
+               description="SUM(lo_revenue) by year and brand for a single brand in EUROPE")
+        .join("supplier", on=("lo_suppkey", "s_suppkey"),
+              filters=[("s_region", "eq", "EUROPE", True)])
+        .join("part", on=("lo_partkey", "p_partkey"),
+              filters=[("p_brand1", "eq", "MFGR#2221", True)], payload="p_brand1")
+        .join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+        .group_by("d_year", "p_brand1")
+        .agg("sum", "lo_revenue")
+    ),
+    "q3.1": (
+        Q("lineorder")
+        .named("q3.1", flight=3,
+               description="revenue by customer nation, supplier nation, and year within ASIA")
+        .join("customer", on=("lo_custkey", "c_custkey"),
+              filters=[("c_region", "eq", "ASIA", True)], payload="c_nation")
+        .join("supplier", on=("lo_suppkey", "s_suppkey"),
+              filters=[("s_region", "eq", "ASIA", True)], payload="s_nation")
+        .join("date", on=("lo_orderdate", "d_datekey"), filters=_Q3_YEARS, payload="d_year")
+        .group_by("c_nation", "s_nation", "d_year")
+        .agg("sum", "lo_revenue")
+    ),
+    "q3.2": (
+        Q("lineorder")
+        .named("q3.2", flight=3,
+               description="revenue by city pair and year within the United States")
+        .join("customer", on=("lo_custkey", "c_custkey"),
+              filters=[("c_nation", "eq", "UNITED STATES", True)], payload="c_city")
+        .join("supplier", on=("lo_suppkey", "s_suppkey"),
+              filters=[("s_nation", "eq", "UNITED STATES", True)], payload="s_city")
+        .join("date", on=("lo_orderdate", "d_datekey"), filters=_Q3_YEARS, payload="d_year")
+        .group_by("c_city", "s_city", "d_year")
+        .agg("sum", "lo_revenue")
+    ),
+    "q3.3": (
+        Q("lineorder")
+        .named("q3.3", flight=3, description="revenue between two UK cities by year")
+        .join("customer", on=("lo_custkey", "c_custkey"),
+              filters=[("c_city", "in", _UK, True)], payload="c_city")
+        .join("supplier", on=("lo_suppkey", "s_suppkey"),
+              filters=[("s_city", "in", _UK, True)], payload="s_city")
+        .join("date", on=("lo_orderdate", "d_datekey"), filters=_Q3_YEARS, payload="d_year")
+        .group_by("c_city", "s_city", "d_year")
+        .agg("sum", "lo_revenue")
+    ),
+    "q3.4": (
+        Q("lineorder")
+        .named("q3.4", flight=3, description="revenue between two UK cities in one month")
+        .join("customer", on=("lo_custkey", "c_custkey"),
+              filters=[("c_city", "in", _UK, True)], payload="c_city")
+        .join("supplier", on=("lo_suppkey", "s_suppkey"),
+              filters=[("s_city", "in", _UK, True)], payload="s_city")
+        .join("date", on=("lo_orderdate", "d_datekey"),
+              filters=[("d_yearmonth", "eq", "Dec1997", True)], payload="d_year")
+        .group_by("c_city", "s_city", "d_year")
+        .agg("sum", "lo_revenue")
+    ),
+    "q4.1": (
+        Q("lineorder")
+        .named("q4.1", flight=4,
+               description="profit by year and customer nation in the Americas")
+        .join("customer", on=("lo_custkey", "c_custkey"),
+              filters=[("c_region", "eq", "AMERICA", True)], payload="c_nation")
+        .join("supplier", on=("lo_suppkey", "s_suppkey"),
+              filters=[("s_region", "eq", "AMERICA", True)])
+        .join("part", on=("lo_partkey", "p_partkey"),
+              filters=[("p_mfgr", "in", ("MFGR#1", "MFGR#2"), True)])
+        .join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+        .group_by("d_year", "c_nation")
+        .agg("sum", "lo_revenue", "lo_supplycost", combine="sub")
+    ),
+    "q4.2": (
+        Q("lineorder")
+        .named("q4.2", flight=4,
+               description="profit by year, supplier nation, and category for 1997-1998")
+        .join("customer", on=("lo_custkey", "c_custkey"),
+              filters=[("c_region", "eq", "AMERICA", True)])
+        .join("supplier", on=("lo_suppkey", "s_suppkey"),
+              filters=[("s_region", "eq", "AMERICA", True)], payload="s_nation")
+        .join("part", on=("lo_partkey", "p_partkey"),
+              filters=[("p_mfgr", "in", ("MFGR#1", "MFGR#2"), True)], payload="p_category")
+        .join("date", on=("lo_orderdate", "d_datekey"),
+              filters=[("d_year", "in", (1997, 1998))], payload="d_year")
+        .group_by("d_year", "s_nation", "p_category")
+        .agg("sum", "lo_revenue", "lo_supplycost", combine="sub")
+    ),
+    "q4.3": (
+        Q("lineorder")
+        .named("q4.3", flight=4,
+               description="profit by year, supplier city, and brand for one category")
+        .join("customer", on=("lo_custkey", "c_custkey"),
+              filters=[("c_region", "eq", "AMERICA", True)])
+        .join("supplier", on=("lo_suppkey", "s_suppkey"),
+              filters=[("s_nation", "eq", "UNITED STATES", True)], payload="s_city")
+        .join("part", on=("lo_partkey", "p_partkey"),
+              filters=[("p_category", "eq", "MFGR#14", True)], payload="p_brand1")
+        .join("date", on=("lo_orderdate", "d_datekey"),
+              filters=[("d_year", "in", (1997, 1998))], payload="d_year")
+        .group_by("d_year", "s_city", "p_brand1")
+        .agg("sum", "lo_revenue", "lo_supplycost", combine="sub")
+    ),
+}
+
+
+class TestCanonicalReExpression:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_builder_reproduces_canonical_spec(self, name):
+        assert name in BUILT, f"missing builder re-expression for {name}"
+        assert BUILT[name].build() == QUERIES[name]
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_builder_reproduces_canonical_spec_with_schema_validation(self, name, tiny_ssb):
+        assert BUILT[name].build(tiny_ssb) == QUERIES[name]
+
+
+class TestBuilderMechanics:
+    def test_builders_are_immutable(self):
+        base = Q("lineorder").agg("count")
+        with_filter = base.filter("lo_quantity", "lt", 25)
+        assert base.build().fact_filters == ()
+        assert len(with_filter.build().fact_filters) == 1
+
+    def test_shared_prefix_produces_independent_queries(self):
+        prefix = Q("lineorder").join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+        a = prefix.group_by("d_year").agg("count").build()
+        b = prefix.agg("sum", "lo_revenue").build()
+        assert a.group_by == ("d_year",)
+        assert b.group_by == ()
+
+    def test_fact_field_defaults_to_lineorder(self):
+        assert Q().agg("count").build().fact == "lineorder"
+
+    def test_in_filter_accepts_a_generator(self, tiny_ssb):
+        """Iterator operands are materialized up front, not consumed by validation."""
+        from repro.engine.plan import execute_query
+
+        from_list = Q().filter("lo_quantity", "in", [1, 2, 3, 4, 5]).agg("count")
+        from_gen = Q().filter("lo_quantity", "in", iter([1, 2, 3, 4, 5])).agg("count")
+        assert from_gen.build() == from_list.build()
+        expected, _ = execute_query(tiny_ssb, from_list.build(tiny_ssb))
+        value, _ = execute_query(tiny_ssb, from_gen.build(tiny_ssb))
+        assert value == expected > 0
+
+    def test_auto_encodes_string_predicates_against_schema(self, tiny_ssb):
+        query = (
+            Q("lineorder")
+            .join("supplier", on=("lo_suppkey", "s_suppkey"),
+                  filters=[("s_region", "eq", "ASIA")])
+            .agg("count")
+            .build(tiny_ssb)
+        )
+        assert query.joins[0].filters[0].encoded is True
+
+
+class TestValidationErrors:
+    def test_unknown_filter_op(self):
+        with pytest.raises(QueryValidationError, match="unknown filter operator"):
+            Q().filter("lo_quantity", "like", 1)
+
+    def test_missing_comparison_value(self):
+        with pytest.raises(TypeError):
+            Q().filter("lo_quantity", "eq")
+        with pytest.raises(QueryValidationError, match="comparison value"):
+            Q().filter("lo_quantity", "eq", None)
+
+    def test_between_rejects_a_set(self):
+        """Sets iterate in hash order, silently swapping (low, high)."""
+        with pytest.raises(QueryValidationError, match="ordered"):
+            Q().filter("lo_quantity", "between", {10, 3})
+
+    def test_numeric_constant_on_encoded_column_rejected(self, tiny_ssb):
+        """Comparing raw dictionary codes is almost never what the user meant."""
+        builder = (
+            Q()
+            .join("part", on=("lo_partkey", "p_partkey"), filters=[("p_mfgr", "eq", 1)])
+            .agg("count")
+        )
+        with pytest.raises(QueryValidationError, match="dictionary encoded"):
+            builder.build(tiny_ssb)
+
+    def test_scalar_op_rejects_sequence_value(self):
+        with pytest.raises(QueryValidationError, match="scalar comparison value"):
+            Q().filter("lo_quantity", "eq", (1, 2))
+
+    def test_between_needs_a_pair(self):
+        with pytest.raises(QueryValidationError, match="between"):
+            Q().filter("lo_discount", "between", 3)
+
+    def test_duplicate_join(self):
+        builder = Q().join("date", on=("lo_orderdate", "d_datekey"))
+        with pytest.raises(QueryValidationError, match="duplicate join"):
+            builder.join("date", on=("lo_orderdate", "d_datekey"))
+
+    def test_role_playing_dimension_allowed(self):
+        """The same dimension table may be joined twice via different fact keys."""
+        query = (
+            Q("events")
+            .join("dim", on=("order_key", "k"), payload="delta")
+            .join("dim", on=("ship_key", "k"))
+            .agg("count")
+            .build()
+        )
+        assert [j.fact_key for j in query.joins] == ["order_key", "ship_key"]
+
+    def test_mixed_type_encoded_in_filter_rejected_at_build(self, tiny_ssb):
+        """Non-string constants on an encoded column fail at build, not deep in expr.py."""
+        builder = (
+            Q()
+            .join("supplier", on=("lo_suppkey", "s_suppkey"),
+                  filters=[("s_region", "in", ("ASIA", 2))])
+            .agg("count")
+        )
+        with pytest.raises(QueryValidationError, match="dictionary"):
+            builder.build(tiny_ssb)
+
+    def test_duplicate_payload_across_joins(self):
+        builder = Q().join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+        with pytest.raises(QueryValidationError, match="payload"):
+            builder.join("customer", on=("lo_custkey", "c_custkey"), payload="d_year")
+
+    def test_bad_join_on_shape(self):
+        with pytest.raises(QueryValidationError, match="fact_key, dimension_key"):
+            Q().join("date", on=("lo_orderdate",))
+
+    def test_unknown_aggregate_op(self):
+        with pytest.raises(QueryValidationError, match="unknown aggregate op"):
+            Q().agg("median", "lo_revenue")
+
+    def test_count_takes_no_columns(self):
+        with pytest.raises(QueryValidationError, match="count"):
+            Q().agg("count", "lo_revenue")
+
+    def test_two_columns_need_combine(self):
+        with pytest.raises(QueryValidationError, match="combine"):
+            Q().agg("sum", "lo_revenue", "lo_supplycost")
+
+    def test_build_requires_aggregate(self):
+        with pytest.raises(QueryValidationError, match="no aggregate"):
+            Q().filter("lo_quantity", "lt", 25).build()
+
+    def test_group_by_must_be_a_join_payload(self):
+        builder = (
+            Q().join("date", on=("lo_orderdate", "d_datekey")).group_by("d_year").agg("count")
+        )
+        with pytest.raises(QueryValidationError, match="payload"):
+            builder.build()
+
+    def test_duplicate_group_by(self):
+        with pytest.raises(QueryValidationError, match="duplicate group-by"):
+            Q().group_by("d_year").group_by("d_year")
+
+    def test_unknown_fact_table(self, tiny_ssb):
+        with pytest.raises(QueryValidationError, match="unknown fact table"):
+            Q("orders").agg("count").build(tiny_ssb)
+
+    def test_unknown_fact_column(self, tiny_ssb):
+        with pytest.raises(QueryValidationError, match="lo_color"):
+            Q().filter("lo_color", "eq", 1).agg("count").build(tiny_ssb)
+
+    def test_unknown_dimension_table(self, tiny_ssb):
+        with pytest.raises(QueryValidationError, match="unknown dimension table"):
+            Q().join("warehouse", on=("lo_suppkey", "w_key")).agg("count").build(tiny_ssb)
+
+    def test_unknown_dimension_column(self, tiny_ssb):
+        builder = Q().join("date", on=("lo_orderdate", "d_nope")).agg("count")
+        with pytest.raises(QueryValidationError, match="d_nope"):
+            builder.build(tiny_ssb)
+
+    def test_unknown_payload_column(self, tiny_ssb):
+        builder = Q().join("date", on=("lo_orderdate", "d_datekey"), payload="d_missing").agg("count")
+        with pytest.raises(QueryValidationError, match="d_missing"):
+            builder.build(tiny_ssb)
+
+    def test_unknown_measure_column(self, tiny_ssb):
+        with pytest.raises(QueryValidationError, match="lo_margin"):
+            Q().agg("sum", "lo_margin").build(tiny_ssb)
+
+    def test_encoded_measure_column_rejected(self, tiny_ssb):
+        """Summing dictionary codes of a string column is meaningless."""
+        with pytest.raises(QueryValidationError, match="dictionary-encoded"):
+            Q("supplier").agg("sum", "s_region").build(tiny_ssb)
+
+    def test_string_on_pair_rejected(self):
+        """A 2-character string is a len-2 Sequence but not a key pair."""
+        with pytest.raises(QueryValidationError, match="fact_key, dimension_key"):
+            Q().join("date", on="ab")
+
+    def test_encoded_flag_without_dictionary(self, tiny_ssb):
+        builder = Q().filter("lo_quantity", "eq", 5, encoded=True).agg("count")
+        with pytest.raises(QueryValidationError, match="no dictionary"):
+            builder.build(tiny_ssb)
+
+    def test_string_value_missing_from_dictionary(self, tiny_ssb):
+        builder = (
+            Q()
+            .join("supplier", on=("lo_suppkey", "s_suppkey"),
+                  filters=[("s_region", "eq", "ATLANTIS")])
+            .agg("count")
+        )
+        with pytest.raises(QueryValidationError, match="ATLANTIS"):
+            builder.build(tiny_ssb)
+
+    def test_built_specs_are_plain_ssb_queries(self):
+        built = BUILT["q2.1"].build()
+        assert isinstance(built, SSBQuery)

@@ -1,0 +1,234 @@
+"""Tests for the Session facade and the engine registry."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DEFAULT_REGISTRY,
+    Engine,
+    EngineRegistry,
+    Q,
+    Session,
+    available_engines,
+    register_engine,
+)
+from repro.engine import CPUStandaloneEngine, GPUStandaloneEngine, execute_query
+from repro.ssb.queries import QUERIES
+
+#: An ad-hoc two-dimension count query that is NOT one of the 13 SSB queries.
+CUSTOM_COUNT = (
+    Q("lineorder")
+    .filter("lo_quantity", "lt", 25)
+    .join("supplier", on=("lo_suppkey", "s_suppkey"),
+          filters=[("s_region", "eq", "ASIA")])
+    .join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+    .group_by("d_year")
+    .agg("count")
+    .named("asia-orders-by-year")
+)
+
+
+class TestRegistry:
+    def test_builtin_engines_registered(self):
+        assert available_engines() == ["coprocessor", "cpu", "gpu", "hyper", "monetdb", "omnisci"]
+
+    def test_aliases_resolve_to_descriptive_names(self):
+        assert DEFAULT_REGISTRY.resolve("standalone-cpu") == "cpu"
+        assert DEFAULT_REGISTRY.resolve("standalone-gpu") == "gpu"
+        assert DEFAULT_REGISTRY.resolve("gpu-coprocessor") == "coprocessor"
+
+    def test_unknown_engine_lists_available(self):
+        with pytest.raises(KeyError, match="registered engines"):
+            DEFAULT_REGISTRY.resolve("tpu")
+
+    def test_duplicate_registration_of_different_factory_rejected(self):
+        registry = EngineRegistry()
+        registry.register("cpu", CPUStandaloneEngine)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("cpu", GPUStandaloneEngine)
+
+    def test_re_registration_of_same_factory_is_idempotent(self):
+        """Module reloads re-fire the decorators; same identity must not raise."""
+        registry = EngineRegistry()
+        registry.register("cpu", CPUStandaloneEngine, aliases=("standalone-cpu",))
+        registry.register("cpu", CPUStandaloneEngine, aliases=("standalone-cpu",))
+        assert registry.resolve("standalone-cpu") == "cpu"
+
+    def test_distinct_lambda_factories_do_not_alias(self):
+        """Two different lambdas share a qualname; only the same object re-binds."""
+        registry = EngineRegistry()
+        factory = lambda db: CPUStandaloneEngine(db)  # noqa: E731
+        registry.register("a", factory)
+        registry.register("a", factory)  # identical object: fine
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("a", lambda db: CPUStandaloneEngine(db))
+
+    def test_builtin_engines_conform_to_protocol(self, tiny_ssb):
+        for key in available_engines():
+            engine = DEFAULT_REGISTRY.create(key, tiny_ssb)
+            assert isinstance(engine, Engine)
+            assert isinstance(engine.name, str)
+
+    def test_custom_engine_via_decorator(self, tiny_ssb):
+        registry = EngineRegistry()
+
+        @register_engine("echo", registry=registry)
+        class EchoEngine:
+            name = "echo"
+
+            def __init__(self, db):
+                self.db = db
+
+            def run(self, query):
+                return CPUStandaloneEngine(self.db).run(query)
+
+        session = Session(tiny_ssb, registry=registry)
+        result = session.run(QUERIES["q1.1"], engine="echo")
+        reference = CPUStandaloneEngine(tiny_ssb).run(QUERIES["q1.1"])
+        assert result.value == reference.value
+
+    def test_non_conforming_factory_rejected(self, tiny_ssb):
+        registry = EngineRegistry()
+        registry.register("broken", lambda db: object())
+        with pytest.raises(TypeError, match="Engine protocol"):
+            registry.create("broken", tiny_ssb)
+
+
+class TestSessionRun:
+    @pytest.fixture(scope="class")
+    def session(self, tiny_ssb):
+        return Session(tiny_ssb)
+
+    def test_run_matches_direct_engine(self, session, tiny_ssb):
+        via_session = session.run(QUERIES["q2.1"], engine="cpu")
+        direct = CPUStandaloneEngine(tiny_ssb).run(QUERIES["q2.1"])
+        assert via_session.value == direct.value
+        assert via_session.simulated_ms == direct.simulated_ms
+
+    def test_engine_instances_are_cached(self, session):
+        assert session.engine("gpu") is session.engine("standalone-gpu")
+
+    def test_run_accepts_builders(self, session):
+        result = session.run(CUSTOM_COUNT, engine="cpu")
+        assert result.query == "asia-orders-by-year"
+        assert result.rows >= 1
+
+    def test_run_many(self, session):
+        names = ["q1.1", "q2.1", "q3.1"]
+        results = session.run_many([QUERIES[n] for n in names], engine="gpu")
+        assert [r.query for r in results] == names
+        assert all(r.engine == "standalone-gpu" for r in results)
+
+    def test_run_rejects_non_queries(self, session):
+        with pytest.raises(TypeError, match="SSBQuery or QueryBuilder"):
+            session.run("q1.1")
+
+    def test_unencoded_string_predicate_errors_instead_of_matching_nothing(self, session):
+        """A spec built without a db keeps its string constant unencoded; running
+        it must raise, not silently count zero rows."""
+        spec = (
+            Q()
+            .join("supplier", on=("lo_suppkey", "s_suppkey"),
+                  filters=[("s_region", "eq", "ASIA")])
+            .agg("count")
+            .build()  # no db: no dictionary rewrite happens here
+        )
+        with pytest.raises(TypeError, match="encoded"):
+            session.run(spec, engine="cpu")
+
+    def test_optimize_preserves_answers(self, session):
+        plain = session.run(QUERIES["q4.1"], engine="cpu")
+        optimized = session.run(QUERIES["q4.1"], engine="cpu", optimize=True)
+        assert optimized.value == plain.value
+
+
+class TestSessionCompare:
+    @pytest.fixture(scope="class")
+    def session(self, tiny_ssb):
+        return Session(tiny_ssb)
+
+    def test_custom_query_consistent_across_cpu_gpu_coprocessor(self, session, tiny_ssb):
+        """Acceptance: a non-canonical count query agrees exactly on 3 engines."""
+        comparison = session.compare(CUSTOM_COUNT, engines=["cpu", "gpu", "coprocessor"])
+        assert comparison.consistent
+        assert set(comparison.results) == {"cpu", "gpu", "coprocessor"}
+
+        # The shared answer is exactly the brute-force NumPy count.
+        lo = tiny_ssb["lineorder"]
+        supplier, date = tiny_ssb["supplier"], tiny_ssb["date"]
+        asia = supplier.encode_predicate_value("s_region", "ASIA")
+        ok_supp = np.zeros(int(supplier["s_suppkey"].max()) + 1, dtype=bool)
+        ok_supp[supplier["s_suppkey"][supplier["s_region"] == asia]] = True
+        year_of = dict(zip(date["d_datekey"].tolist(), date["d_year"].tolist()))
+        expected: dict[tuple, float] = {}
+        mask = (lo["lo_quantity"] < 25) & ok_supp[lo["lo_suppkey"]]
+        for orderdate in lo["lo_orderdate"][mask]:
+            key = (int(year_of[int(orderdate)]),)
+            expected[key] = expected.get(key, 0.0) + 1.0
+        value = next(iter(comparison.results.values())).value
+        assert value == expected
+
+    def test_all_six_engines_agree_on_custom_query(self, session):
+        comparison = session.compare(CUSTOM_COUNT, engines=available_engines())
+        assert comparison.consistent
+
+    def test_rows_sorted_fastest_first(self, session):
+        comparison = session.compare(QUERIES["q2.1"])
+        times = [row.simulated_ms for row in comparison.rows()]
+        assert times == sorted(times)
+        assert comparison.fastest == comparison.rows()[0].engine
+
+    def test_as_dicts_is_tidy(self, session):
+        records = session.compare(QUERIES["q1.1"]).as_dicts()
+        assert {r["engine"] for r in records} == {"cpu", "gpu", "coprocessor"}
+        for record in records:
+            assert set(record) == {
+                "query", "engine", "simulated_ms", "rows", "agrees", "speedup_vs_slowest"
+            }
+            assert record["agrees"]
+
+    def test_str_table_renders(self, session):
+        text = str(session.compare(QUERIES["q1.1"]))
+        assert "consistent=True" in text
+        assert "cpu" in text and "gpu" in text
+
+    def test_compare_accepts_a_bare_engine_name(self, session):
+        """A single string must not be iterated character-wise."""
+        comparison = session.compare(QUERIES["q1.1"], engines="cpu")
+        assert set(comparison.results) == {"cpu"}
+
+    def test_compare_needs_engines(self, session):
+        with pytest.raises(ValueError, match="at least one engine"):
+            session.compare(QUERIES["q1.1"], engines=[])
+
+    def test_compare_rejects_duplicate_engines(self, session):
+        """An alias and its canonical key must not silently collapse to one row."""
+        with pytest.raises(ValueError, match="more than once"):
+            session.compare(QUERIES["q1.1"], engines=["gpu", "standalone-gpu"])
+
+    def test_compare_with_optimize_is_consistent(self, session):
+        comparison = session.compare(QUERIES["q4.2"], engines=["cpu", "gpu"], optimize=True)
+        assert comparison.consistent
+        reference = session.run(QUERIES["q4.2"], engine="cpu")
+        assert comparison.results["cpu"].value == reference.value
+
+
+class TestQuickstartDocstring:
+    def test_package_quickstart_runs(self, tiny_ssb):
+        """The package docstring's advertised imports and flow actually work."""
+        import repro
+
+        for symbol in ("Q", "Session", "QUERIES", "generate_ssb"):
+            assert hasattr(repro, symbol), f"repro does not export {symbol}"
+        session = Session(tiny_ssb)
+        orders = (
+            Q("lineorder")
+            .filter("lo_quantity", "lt", 25)
+            .join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+            .group_by("d_year")
+            .agg("count")
+        )
+        comparison = session.compare(orders, engines=["cpu", "gpu", "coprocessor"])
+        assert comparison.consistent
+        value, _ = execute_query(tiny_ssb, orders.build(tiny_ssb))
+        assert next(iter(comparison.results.values())).value == value

@@ -85,6 +85,14 @@ class TestFilterEvaluation:
         with pytest.raises(KeyError):
             resolve_filter_value(table, FilterSpec("x", "eq", "A", encoded=True))
 
+    def test_string_constant_on_numeric_column_raises(self):
+        """Silent zero-row matches are worse than an error (hand-written specs too)."""
+        table = Table.from_arrays("t", {"x": np.arange(5)})
+        with pytest.raises(TypeError, match="encoded"):
+            evaluate_filter(table, FilterSpec("x", "eq", "three"))
+        with pytest.raises(TypeError, match="encoded"):
+            evaluate_filter(table, FilterSpec("x", "in", {"a", "b"}))
+
     def test_evaluate_filters_conjunction(self):
         table = Table.from_arrays("t", {"x": np.arange(10)})
         mask = evaluate_filters(table, [FilterSpec("x", "ge", 3), FilterSpec("x", "lt", 7)])
