@@ -1,0 +1,77 @@
+"""Boolean predicate trees (OR / NOT) and decoded ResultSets.
+
+The seed's query surface was conjunction-only: a flat tuple of filters,
+each ANDed in.  The predicate algebra lifts that restriction: ``col()``
+comparisons compose into And/Or/Not expression trees with ``&``, ``|``,
+and ``~``, run on every engine, and come back as ResultSets whose
+dictionary codes are decoded to human-readable labels.
+
+Run with::
+
+    python examples/predicate_trees.py
+"""
+
+from __future__ import annotations
+
+from repro import Q, QUERIES, Session, col, generate_ssb
+
+
+def main() -> None:
+    db = generate_ssb(scale_factor=0.05, seed=42)
+    session = Session(db)
+
+    # ------------------------------------------------------------------
+    # A disjunctive SSB variant: q1.1's discount band OR a high-quantity
+    # branch.  Inexpressible before predicate trees; now one .where().
+    # ------------------------------------------------------------------
+    disjunctive = (
+        Q("lineorder")
+        .named("q1.1-or-high-quantity")
+        .where(col("lo_discount").between(1, 3) | (col("lo_quantity") > 45))
+        .join("date", on=("lo_orderdate", "d_datekey"),
+              filters=[("d_year", "eq", 1993)], payload="d_year")
+        .group_by("d_year")
+        .agg("sum", "lo_extendedprice", "lo_discount", combine="mul")
+    )
+    print("predicate:", disjunctive.build(db).predicate)
+    print(session.compare(disjunctive, engines=["cpu", "gpu", "coprocessor"]))
+    print()
+
+    # ------------------------------------------------------------------
+    # Negation, and OR across a *dimension* filter: revenue from suppliers
+    # outside Asia, in two named cities' worth of customers or any UK city.
+    # ------------------------------------------------------------------
+    negated = (
+        Q("lineorder")
+        .named("non-asia-revenue-by-region")
+        .where(~(col("lo_quantity") < 10))
+        .join("supplier", on=("lo_suppkey", "s_suppkey"),
+              filters=~col("s_region").eq("ASIA"), payload="s_region")
+        .group_by("s_region")
+        .agg("sum", "lo_revenue")
+    )
+    result = session.run(negated, engine="gpu")
+    # The ResultSet decodes s_region codes back to labels: no ASIA row.
+    print(result.sort_values("sum(lo_revenue)", ascending=False))
+    print()
+
+    # ------------------------------------------------------------------
+    # Canonical q2.1, decoded: d_year stays numeric, p_brand1 codes become
+    # brand strings; export the top brands as CSV.
+    # ------------------------------------------------------------------
+    q21 = session.run(QUERIES["q2.1"], engine="gpu")
+    top = q21.sort_values("sum(lo_revenue)", ascending=False).head(5)
+    print(top)
+    print()
+    print(top.to_csv(), end="")
+    print()
+
+    # ------------------------------------------------------------------
+    # The comparison above ran one functional execution and replayed it on
+    # the other engines from the Session's cache.
+    # ------------------------------------------------------------------
+    print("execution cache:", session.cache_info())
+
+
+if __name__ == "__main__":
+    main()

@@ -51,8 +51,10 @@ from repro.api import (
     Q,
     QueryBuilder,
     QueryValidationError,
+    ResultSet,
     Session,
     available_engines,
+    col,
     register_engine,
 )
 from repro.engine import (
@@ -65,24 +67,31 @@ from repro.engine import (
     OmnisciLikeEngine,
     QueryResult,
 )
-from repro.ssb import QUERIES, SSBQuery, generate_ssb
+from repro.ssb import QUERIES, And, FilterSpec, Not, Or, Pred, SSBQuery, generate_ssb
 
 __all__ = [
+    "And",
     "CPUStandaloneEngine",
     "CoprocessorEngine",
+    "FilterSpec",
     "GPUStandaloneEngine",
     "HyperLikeEngine",
     "JoinOrderPlanner",
     "MonetDBLikeEngine",
+    "Not",
     "OmnisciLikeEngine",
+    "Or",
+    "Pred",
     "Q",
     "QUERIES",
     "QueryBuilder",
     "QueryResult",
     "QueryValidationError",
+    "ResultSet",
     "SSBQuery",
     "Session",
     "available_engines",
+    "col",
     "generate_ssb",
     "register_engine",
     "__version__",

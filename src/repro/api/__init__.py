@@ -5,16 +5,22 @@ star-schema queries:
 
 * :mod:`repro.api.builder` -- :func:`Q` / :class:`QueryBuilder`, a fluent,
   schema-validating builder that emits the declarative
-  :class:`~repro.ssb.queries.SSBQuery` specs every engine understands.
+  :class:`~repro.ssb.queries.SSBQuery` specs every engine understands, and
+  the :func:`col` predicate DSL whose comparisons compose into boolean
+  AND/OR/NOT trees with ``&``, ``|``, and ``~``.
 * :mod:`repro.api.registry` -- the :class:`Engine` protocol, the
   string-keyed :class:`EngineRegistry`, and the :func:`register_engine`
   decorator the six built-in engines (and user engines) plug into.
+* :mod:`repro.api.resultset` -- :class:`ResultSet`, the decoded tabular
+  result (named columns, dictionary codes translated back to labels) every
+  Session execution returns.
 * :mod:`repro.api.session` -- :class:`Session`, which binds a database to
   the registry: ``run``, ``run_many``, and ``compare`` across engines, with
-  an ``optimize=True`` path through the join-order planner.
+  an ``optimize=True`` path through the join-order planner and a per-query
+  memo of the functional execution pass shared across engines.
 """
 
-from repro.api.builder import Q, QueryBuilder, QueryValidationError
+from repro.api.builder import ColumnRef, Q, QueryBuilder, QueryValidationError, col
 from repro.api.registry import (
     DEFAULT_REGISTRY,
     Engine,
@@ -22,13 +28,15 @@ from repro.api.registry import (
     available_engines,
     register_engine,
 )
-from repro.api.session import Comparison, ComparisonRow, Session
+from repro.api.resultset import ResultSet
+from repro.api.session import Comparison, ComparisonRow, Session, values_agree
 
 # Importing the engine package registers the six built-in engines with
 # DEFAULT_REGISTRY (each engine class carries a @register_engine decorator).
 import repro.engine  # noqa: E402,F401
 
 __all__ = [
+    "ColumnRef",
     "Comparison",
     "ComparisonRow",
     "DEFAULT_REGISTRY",
@@ -37,7 +45,10 @@ __all__ = [
     "Q",
     "QueryBuilder",
     "QueryValidationError",
+    "ResultSet",
     "Session",
     "available_engines",
+    "col",
     "register_engine",
+    "values_agree",
 ]

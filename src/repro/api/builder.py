@@ -3,22 +3,31 @@
 The 13 canonical SSB queries in :mod:`repro.ssb.queries` are hand-written
 :class:`~repro.ssb.queries.SSBQuery` dataclasses.  :class:`QueryBuilder`
 lets users compose *arbitrary* star-schema queries -- any combination of
-fact filters, filtered dimension joins, group-bys, and ``sum`` / ``count`` /
-``min`` / ``max`` / ``avg`` aggregates -- and emits the same declarative
-spec, so every engine runs them unchanged::
+fact predicates, filtered dimension joins, group-bys, and ``sum`` /
+``count`` / ``min`` / ``max`` / ``avg`` aggregates -- and emits the same
+declarative spec, so every engine runs them unchanged::
 
-    from repro import Q, Session, generate_ssb
+    from repro import Q, Session, col, generate_ssb
 
     db = generate_ssb(scale_factor=0.01, seed=7)
     q = (
         Q("lineorder")
-        .filter("lo_discount", "between", (1, 3))
+        .where(col("lo_discount").between(1, 3) | (col("lo_quantity") < 25))
         .join("date", on=("lo_orderdate", "d_datekey"),
               filters=[("d_year", "eq", 1993)], payload="d_year")
         .group_by("d_year")
         .agg("sum", "lo_extendedprice", "lo_discount", combine="mul")
     )
     result = Session(db).run(q, engine="gpu")
+
+Predicates come in two flavours.  :meth:`QueryBuilder.filter` adds one
+``(column, op, value)`` comparison -- successive calls AND together, the
+seed behaviour.  :meth:`QueryBuilder.where` accepts full boolean
+expression trees built from :func:`col` references with the ``&``, ``|``,
+and ``~`` operators (:class:`~repro.ssb.queries.And` /
+:class:`~repro.ssb.queries.Or` / :class:`~repro.ssb.queries.Not` nodes),
+so disjunctions and negations reach every engine; multiple ``where`` calls
+also AND together.
 
 Builders are immutable: every method returns a new builder, so a common
 prefix can be shared between query variants.  Structural validation (known
@@ -37,8 +46,11 @@ from repro.ssb.queries import (
     COMBINE_OPS,
     FILTER_OPS,
     AggregateSpec,
+    And,
     FilterSpec,
     JoinSpec,
+    Leaf,
+    Pred,
     SSBQuery,
 )
 from repro.storage import Database, Table
@@ -85,6 +97,14 @@ def _check_filter_shape(spec: FilterSpec) -> None:
         raise QueryValidationError(
             f"filter {spec.op!r} on {spec.column!r} needs a comparison value, got None"
         )
+    operands = spec.value if isinstance(spec.value, (tuple, list)) else (spec.value,)
+    if any(isinstance(v, (ColumnRef, Pred, FilterSpec)) for v in operands):
+        # NumPy's reflected comparison against such an object would not
+        # produce a row mask, silently selecting every row.
+        raise QueryValidationError(
+            f"filter {spec.op!r} on {spec.column!r} compares against {spec.value!r}; "
+            f"column-to-column predicates are not supported -- compare against a constant"
+        )
     if (
         spec.op not in ("between", "in")
         and isinstance(spec.value, Iterable)
@@ -112,6 +132,94 @@ def _filter_values(spec: FilterSpec) -> tuple:
     return (spec.value,)
 
 
+class ColumnRef:
+    """A column reference that turns comparisons into predicate leaves.
+
+    ``col("lo_quantity") < 25`` yields a :class:`~repro.ssb.queries.Leaf`;
+    leaves compose into trees with ``&``, ``|``, and ``~``.  Note that the
+    bitwise operators bind tighter than comparisons, so comparison leaves
+    need parentheses inside a composition: ``(col("a") < 1) | (col("b") > 2)``.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise QueryValidationError(f"col() needs a non-empty column name, got {name!r}")
+        self.name = name
+
+    def _leaf(self, op: str, value, encoded: bool = False) -> Leaf:
+        spec = _as_filter_spec(FilterSpec(self.name, op, value, encoded))
+        return Leaf(spec)
+
+    # Comparison operators.  __eq__/__ne__ intentionally build predicates
+    # instead of comparing references, mirroring NumPy/pandas expressions;
+    # ColumnRef is therefore unhashable.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __eq__(self, value) -> Leaf:  # type: ignore[override]
+        return self._leaf("eq", value)
+
+    def __ne__(self, value) -> Leaf:  # type: ignore[override]
+        return self._leaf("ne", value)
+
+    def __lt__(self, value) -> Leaf:
+        return self._leaf("lt", value)
+
+    def __le__(self, value) -> Leaf:
+        return self._leaf("le", value)
+
+    def __gt__(self, value) -> Leaf:
+        return self._leaf("gt", value)
+
+    def __ge__(self, value) -> Leaf:
+        return self._leaf("ge", value)
+
+    # Named forms, for readers who prefer words over operators.
+    def eq(self, value) -> Leaf:
+        return self._leaf("eq", value)
+
+    def ne(self, value) -> Leaf:
+        return self._leaf("ne", value)
+
+    def between(self, low, high) -> Leaf:
+        """Inclusive two-sided range: ``low <= column <= high``."""
+        return self._leaf("between", (low, high))
+
+    def isin(self, *values) -> Leaf:
+        """Membership in an explicit value set."""
+        if len(values) == 1 and isinstance(values[0], Iterable) and not isinstance(values[0], str):
+            values = tuple(values[0])
+        return self._leaf("in", values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"col({self.name!r})"
+
+
+def col(name: str) -> ColumnRef:
+    """A fact- or dimension-column reference for the predicate DSL."""
+    return ColumnRef(name)
+
+
+def _as_pred(obj) -> Pred:
+    """Normalize builder predicate input into a structurally valid tree.
+
+    Accepts a :class:`~repro.ssb.queries.Pred` tree (its leaves are
+    re-validated: trees can be hand-assembled from raw specs), a bare
+    :class:`~repro.ssb.queries.FilterSpec`, or a ``(column, op, value)``
+    tuple.  A bare :class:`ColumnRef` is rejected with a pointer at the
+    missing comparison.
+    """
+    if isinstance(obj, ColumnRef):
+        raise QueryValidationError(
+            f"{obj!r} is a bare column reference; compare it to something "
+            f"(e.g. col({obj.name!r}) < 10) to make a predicate"
+        )
+    if isinstance(obj, Pred):
+        return obj.map_leaves(_as_filter_spec)
+    return Leaf(_as_filter_spec(obj))
+
+
 class QueryBuilder:
     """Fluent builder emitting :class:`~repro.ssb.queries.SSBQuery` specs."""
 
@@ -121,7 +229,8 @@ class QueryBuilder:
         self._name: str | None = None
         self._flight = 0
         self._description = ""
-        self._filters: tuple[FilterSpec, ...] = ()
+        #: Top-level AND terms of the fact predicate, each an arbitrary tree.
+        self._filters: tuple[Pred, ...] = ()
         self._joins: tuple[JoinSpec, ...] = ()
         self._group_by: tuple[str, ...] = ()
         self._aggregate: AggregateSpec | None = None
@@ -132,10 +241,26 @@ class QueryBuilder:
 
     # ------------------------------------------------------------------
     def filter(self, column: str, op: str, value, *, encoded: bool = False) -> "QueryBuilder":
-        """Add a predicate on a fact-table column."""
-        spec = _as_filter_spec(FilterSpec(column, op, value, encoded))
+        """Add one predicate on a fact-table column (successive calls AND)."""
+        return self.where(FilterSpec(column, op, value, encoded))
+
+    def where(self, *predicates) -> "QueryBuilder":
+        """AND boolean predicate trees onto the fact-table restriction.
+
+        Each argument is a :class:`~repro.ssb.queries.Pred` tree (built from
+        :func:`col` comparisons with ``&``/``|``/``~``), a bare
+        :class:`~repro.ssb.queries.FilterSpec`, or a ``(column, op, value)``
+        tuple.  Arguments -- and successive ``where``/``filter`` calls --
+        combine conjunctively; disjunction and negation live *inside* a
+        tree::
+
+            Q().where(col("lo_discount").between(1, 3) | (col("lo_quantity") < 25))
+            Q().where(~col("s_region").eq("ASIA"))
+        """
+        if not predicates:
+            raise QueryValidationError("where() needs at least one predicate")
         out = self._clone()
-        out._filters = self._filters + (spec,)
+        out._filters = self._filters + tuple(_as_pred(p) for p in predicates)
         return out
 
     def join(
@@ -143,14 +268,15 @@ class QueryBuilder:
         dimension: str,
         *,
         on: tuple[str, str],
-        filters: Iterable = (),
+        filters: "Iterable | Pred | FilterSpec" = (),
         payload: str | None = None,
     ) -> "QueryBuilder":
         """Join the fact table to ``dimension``.
 
         ``on`` is the ``(fact_key, dimension_key)`` pair; ``filters`` are
-        predicates on the dimension's own columns; ``payload`` names the
-        dimension column carried into the group-by (if any).
+        predicates on the dimension's own columns -- a list of ``(column,
+        op, value)`` tuples (ANDed) or one boolean tree; ``payload`` names
+        the dimension column carried into the group-by (if any).
         """
         if isinstance(on, str) or not (isinstance(on, Sequence) and len(on) == 2):
             raise QueryValidationError(
@@ -167,11 +293,15 @@ class QueryBuilder:
                 f"payload {payload!r} is already produced by another join; "
                 f"payload names must be unique"
             )
+        if isinstance(filters, (Pred, FilterSpec)):
+            join_filters: "tuple[FilterSpec, ...] | Pred" = _as_pred(filters)
+        else:
+            join_filters = tuple(_as_filter_spec(f) for f in filters)
         spec = JoinSpec(
             dimension=dimension,
             fact_key=on[0],
             dimension_key=on[1],
-            filters=tuple(_as_filter_spec(f) for f in filters),
+            filters=join_filters,
             payload=payload,
         )
         out = self._clone()
@@ -249,7 +379,7 @@ class QueryBuilder:
             )
 
         database = db if db is not None else self._db
-        fact_filters = self._filters
+        conjuncts = self._filters
         joins = self._joins
         if database is not None:
             if self._fact not in database:
@@ -257,7 +387,7 @@ class QueryBuilder:
                     f"unknown fact table {self._fact!r}; database has {sorted(database.tables)}"
                 )
             fact = database.table(self._fact)
-            fact_filters = tuple(self._validated_filter(fact, f) for f in self._filters)
+            conjuncts = tuple(self._validated_pred(fact, p) for p in conjuncts)
             joins = tuple(self._validated_join(database, fact, join) for join in self._joins)
             for column in self._aggregate.columns:
                 self._require_column(fact, column, "aggregate measure")
@@ -270,7 +400,7 @@ class QueryBuilder:
         return SSBQuery(
             name=self._name or "custom",
             flight=self._flight,
-            fact_filters=fact_filters,
+            fact_filters=self._emit_fact_filters(conjuncts),
             joins=joins,
             group_by=self._group_by,
             aggregate=self._aggregate,
@@ -280,12 +410,31 @@ class QueryBuilder:
 
     # ------------------------------------------------------------------
     @staticmethod
+    def _emit_fact_filters(terms: "tuple[Pred, ...]") -> "tuple[FilterSpec, ...] | Pred":
+        """Emit the spec's fact restriction in its most interoperable shape.
+
+        A pure conjunction of single-column comparisons comes out as the
+        legacy ``tuple[FilterSpec, ...]``, so specs round-trip unchanged
+        through code that predates predicate trees; anything with an OR/NOT
+        somewhere stays a tree (collapsed to the lone term when possible).
+        """
+        if all(isinstance(term, Leaf) for term in terms):
+            return tuple(term.spec for term in terms)
+        if len(terms) == 1:
+            return terms[0]
+        return And(*terms)
+
+    @staticmethod
     def _require_column(table: Table, column: str, role: str) -> None:
         if column not in table:
             raise QueryValidationError(
                 f"{role} column {column!r} does not exist in table {table.name!r}; "
                 f"available: {sorted(table.columns)}"
             )
+
+    def _validated_pred(self, table: Table, pred: Pred) -> Pred:
+        """Schema-validate every leaf of a tree (columns, dictionary rewrites)."""
+        return pred.map_leaves(lambda spec: self._validated_filter(table, spec))
 
     def _validated_filter(self, table: Table, spec: FilterSpec) -> FilterSpec:
         self._require_column(table, spec.column, "filter")
@@ -327,7 +476,10 @@ class QueryBuilder:
         self._require_column(dimension, join.dimension_key, "join dimension-key")
         if join.payload is not None:
             self._require_column(dimension, join.payload, "join payload")
-        filters = tuple(self._validated_filter(dimension, f) for f in join.filters)
+        if isinstance(join.filters, Pred):
+            filters: "tuple[FilterSpec, ...] | Pred" = self._validated_pred(dimension, join.filters)
+        else:
+            filters = tuple(self._validated_filter(dimension, f) for f in join.filters)
         if filters != join.filters:
             join = JoinSpec(join.dimension, join.fact_key, join.dimension_key, filters, join.payload)
         return join

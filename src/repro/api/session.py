@@ -5,6 +5,7 @@ registry and exposes a uniform execution surface::
 
     session = Session(db)
     result = session.run(QUERIES["q2.1"], engine="gpu")
+    print(result)                       # decoded d_year / p_brand1 labels
     results = session.run_many(QUERIES.values(), engine="cpu")
     table = session.compare(my_query, engines=["cpu", "gpu", "coprocessor"])
     print(table)
@@ -14,23 +15,54 @@ Queries can be :class:`~repro.ssb.queries.SSBQuery` specs or (unbuilt)
 (and schema-validated) against the session's database automatically.  With
 ``optimize=True`` the query's joins are rearranged into the cheapest order
 by :class:`~repro.engine.planner.JoinOrderPlanner` before execution.
+
+Results come back as :class:`~repro.api.resultset.ResultSet`: the raw
+engine answer plus named, dictionary-decoded output columns.
+
+Sessions memoize the shared functional execution pass (the answer and
+profile of :func:`~repro.engine.plan.execute_query`) per query, so
+``compare`` across N engines executes the answer once and replays it N-1
+times; pass ``cache=False`` (to the constructor or per call) to opt out,
+and read :meth:`Session.cache_info` for hit/miss counters.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.api.builder import QueryBuilder
 from repro.api.registry import DEFAULT_REGISTRY, Engine, EngineRegistry
+from repro.api.resultset import ResultSet
+from repro.engine.cache import CacheInfo, ExecutionCache, activate
 from repro.engine.planner import JoinOrderPlanner
-from repro.engine.result import QueryResult
 from repro.ssb.queries import SSBQuery
 from repro.storage import Database
 
 #: The engines Session.compare uses when none are named: the paper's three
 #: execution strategies (Figure 3's comparison).
 DEFAULT_COMPARE_ENGINES = ("cpu", "gpu", "coprocessor")
+
+#: Relative tolerance for cross-engine answer agreement.  Engines share one
+#: functional executor today, but numerically independent implementations
+#: (or replayed caches) must not report disagreement over float rounding in
+#: ``avg``-style aggregates.
+AGREEMENT_REL_TOL = 1e-9
+AGREEMENT_ABS_TOL = 1e-12
+
+
+def _scalars_agree(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return math.isclose(a, b, rel_tol=AGREEMENT_REL_TOL, abs_tol=AGREEMENT_ABS_TOL)
+    return a == b
+
+
+def values_agree(a, b) -> bool:
+    """Whether two engine answers match, within float tolerance per group."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_scalars_agree(a[key], b[key]) for key in a)
+    return _scalars_agree(a, b)
 
 
 @dataclass(frozen=True)
@@ -47,20 +79,25 @@ class ComparisonRow:
 class Comparison:
     """Tidy per-engine results of one query run on several engines."""
 
-    def __init__(self, query: SSBQuery, results: dict[str, QueryResult]) -> None:
+    def __init__(self, query: SSBQuery, results: "dict[str, ResultSet]") -> None:
         self.query = query
         self.results = results
 
     @property
     def consistent(self) -> bool:
-        """Whether every engine produced the identical answer."""
+        """Whether every engine produced the same answer (float-tolerant)."""
         values = [result.value for result in self.results.values()]
-        return all(value == values[0] for value in values)
+        return all(values_agree(value, values[0]) for value in values)
 
     @property
     def fastest(self) -> str:
         """Registry key of the engine with the lowest simulated time."""
         return min(self.results, key=lambda key: self.results[key].simulated_ms)
+
+    @property
+    def answer(self) -> ResultSet:
+        """The first engine's (decoded) result set, as the reference answer."""
+        return next(iter(self.results.values()))
 
     def rows(self) -> list[ComparisonRow]:
         """Per-engine summary rows, fastest first."""
@@ -71,7 +108,7 @@ class Comparison:
                 engine=key,
                 simulated_ms=result.simulated_ms,
                 rows=result.rows,
-                agrees=result.value == reference,
+                agrees=values_agree(result.value, reference),
                 speedup_vs_slowest=(
                     slowest_ms / result.simulated_ms if result.simulated_ms else float("inf")
                 ),
@@ -102,6 +139,11 @@ class Comparison:
                 f"  {row.engine:<16} {row.simulated_ms:>12.4f} {row.rows:>8} "
                 f"{str(row.agrees):>7} {row.speedup_vs_slowest:>7.1f}x"
             )
+        answer = self.answer
+        if isinstance(answer, ResultSet) and len(answer):
+            preview = answer.sort_values().head(5)
+            lines.append(f"  answer ({min(len(answer), 5)} of {len(answer)} rows, decoded):")
+            lines.extend("    " + line for line in str(preview).splitlines())
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -117,11 +159,14 @@ class Session:
         *,
         registry: EngineRegistry | None = None,
         planner: JoinOrderPlanner | None = None,
+        cache: bool = True,
+        cache_size: int = 64,
     ) -> None:
         self.db = db
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self._planner = planner
         self._engines: dict[str, Engine] = {}
+        self._cache = ExecutionCache(db, maxsize=cache_size) if cache else None
 
     # ------------------------------------------------------------------
     @property
@@ -155,11 +200,39 @@ class Session:
         return query
 
     # ------------------------------------------------------------------
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters of the functional-execution memo."""
+        if self._cache is None:
+            return CacheInfo(hits=0, misses=0, size=0, maxsize=0)
+        return self._cache.info()
+
+    def clear_cache(self) -> None:
+        """Drop every memoized execution (e.g. after mutating the database)."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    def _execute(self, engine_name: str, prepared: SSBQuery, cache: bool | None) -> ResultSet:
+        chosen = self.engine(engine_name)
+        use_cache = self._cache is not None and cache is not False
+        if use_cache:
+            with activate(self._cache):
+                raw = chosen.run(prepared)
+        else:
+            raw = chosen.run(prepared)
+        return ResultSet.from_result(self.db, prepared, raw)
+
+    # ------------------------------------------------------------------
     def run(
-        self, query: SSBQuery | QueryBuilder, engine: str = "cpu", *, optimize: bool = False
-    ) -> QueryResult:
-        """Execute one query on one engine."""
-        return self.engine(engine).run(self.prepare(query, optimize=optimize))
+        self,
+        query: SSBQuery | QueryBuilder,
+        engine: str = "cpu",
+        *,
+        optimize: bool = False,
+        cache: bool | None = None,
+    ) -> ResultSet:
+        """Execute one query on one engine, returning a decoded ResultSet."""
+        prepared = self.prepare(query, optimize=optimize)
+        return self._execute(engine, prepared, cache)
 
     def run_many(
         self,
@@ -167,10 +240,13 @@ class Session:
         engine: str = "cpu",
         *,
         optimize: bool = False,
-    ) -> list[QueryResult]:
+        cache: bool | None = None,
+    ) -> list[ResultSet]:
         """Execute a batch of queries on one engine."""
-        chosen = self.engine(engine)
-        return [chosen.run(self.prepare(query, optimize=optimize)) for query in queries]
+        return [
+            self._execute(engine, self.prepare(query, optimize=optimize), cache)
+            for query in queries
+        ]
 
     def compare(
         self,
@@ -178,8 +254,15 @@ class Session:
         engines: Sequence[str] | None = None,
         *,
         optimize: bool = False,
+        cache: bool | None = None,
     ) -> Comparison:
-        """Run one query on several engines and tabulate the results."""
+        """Run one query on several engines and tabulate the results.
+
+        With caching enabled (the default) the functional execution pass
+        runs once for the whole comparison; every engine after the first
+        replays the memoized answer and profile and only re-costs it under
+        its own hardware model.
+        """
         if isinstance(engines, str):
             engines = (engines,)
         names = tuple(engines) if engines is not None else DEFAULT_COMPARE_ENGINES
@@ -190,7 +273,7 @@ class Session:
         if duplicates:
             raise ValueError(f"engine(s) listed more than once in compare: {duplicates}")
         prepared = self.prepare(query, optimize=optimize)
-        results = {key: self.engine(key).run(prepared) for key in resolved}
+        results = {key: self._execute(key, prepared, cache) for key in resolved}
         return Comparison(prepared, results)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -28,6 +28,7 @@ default engine registry under a short key (``"cpu"``, ``"gpu"``,
 """
 
 from repro.engine.baselines import HyperLikeEngine, MonetDBLikeEngine, OmnisciLikeEngine
+from repro.engine.cache import CacheInfo, ExecutionCache
 from repro.engine.coprocessor import CoprocessorEngine
 from repro.engine.cpu_engine import CPUStandaloneEngine
 from repro.engine.gpu_engine import GPUStandaloneEngine
@@ -37,7 +38,9 @@ from repro.engine.result import QueryResult
 
 __all__ = [
     "CPUStandaloneEngine",
+    "CacheInfo",
     "CoprocessorEngine",
+    "ExecutionCache",
     "GPUStandaloneEngine",
     "HyperLikeEngine",
     "JoinOrderPlanner",

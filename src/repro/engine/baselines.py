@@ -69,7 +69,8 @@ class HyperLikeEngine:
             sequential_read_bytes=profile.selective_column_bytes(line),
             sequential_write_bytes=float(profile.num_groups) * profile.output_row_bytes,
             compute_ops=float(profile.fact_rows) * 8.0,
-            data_dependent_branches=float(profile.fact_rows) * len(query.fact_filters),
+            data_dependent_branches=float(profile.fact_rows)
+            * sum(1 for _ in query.predicate.leaves()),
             branch_miss_rate=0.25,
         )
         time.merge(self.simulator.run(streaming, use_simd=False, label="fact-scan").time, prefix="scan.")

@@ -1,0 +1,110 @@
+"""Memoization of the functional execution pass.
+
+Every engine answers a query by first running the shared functional
+executor (:func:`repro.engine.plan.execute_query`) and then costing the
+collected profile under its own hardware model.  The *answer* and the
+*profile* depend only on ``(database, query)``, so when one query runs on
+several engines -- :meth:`repro.api.Session.compare` across the paper's six
+execution strategies -- the functional pass is pure repeated work.
+
+:class:`ExecutionCache` memoizes that pass.  A :class:`~repro.api.Session`
+activates its cache around each engine call via :func:`activate`;
+``execute_query`` consults :func:`active_cache` and replays the memoized
+``(value, profile)`` on a hit.  Cached entries are deep-copied on the way
+out so an engine (or the experiment harness, which rescales profiles to the
+paper's SF 20 sizes) can never mutate another engine's view.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Callable, NamedTuple
+
+
+class CacheInfo(NamedTuple):
+    """Counters of one :class:`ExecutionCache` (mirrors ``functools``)."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+class ExecutionCache:
+    """An LRU memo of ``(value, profile)`` keyed by query spec.
+
+    The cache is bound to one database at construction: queries are hashable
+    frozen dataclasses, databases are not, so ``fetch`` falls through to an
+    uncached execution whenever it is handed a different database (or an
+    unhashable hand-built query).
+    """
+
+    def __init__(self, db: object, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.db = db
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def fetch(self, db, query, compute: Callable):
+        """``compute(db, query)``, memoized per query for the bound database."""
+        if db is not self.db:
+            return compute(db, query)
+        try:
+            cached = self._entries.get(query)
+        except TypeError:  # a hand-built spec holding e.g. a list constant
+            return compute(db, query)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(query)
+            return copy.deepcopy(cached)
+        self.misses += 1
+        value, profile = compute(db, query)
+        self._entries[query] = (copy.deepcopy(value), copy.deepcopy(profile))
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return value, profile
+
+    def info(self) -> CacheInfo:
+        """Hit/miss counters and occupancy."""
+        return CacheInfo(self.hits, self.misses, len(self._entries), self.maxsize)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutionCache({self.info()})"
+
+
+#: The cache the *current* execution context consults, if any.  Installed by
+#: :func:`activate`; plain module state (not per-thread) because engine runs
+#: are synchronous single-threaded calls.
+_ACTIVE: ExecutionCache | None = None
+
+
+def active_cache() -> ExecutionCache | None:
+    """The cache installed by the innermost :func:`activate`, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(cache: ExecutionCache):
+    """Route ``execute_query`` calls through ``cache`` for the duration."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = cache
+    try:
+        yield cache
+    finally:
+        _ACTIVE = previous

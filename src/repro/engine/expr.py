@@ -1,10 +1,17 @@
-"""Predicate evaluation against columnar data."""
+"""Predicate evaluation against columnar data.
+
+Predicates arrive either as the legacy flat sequences of
+:class:`~repro.ssb.queries.FilterSpec` (implicit conjunctions) or as
+arbitrary boolean :class:`~repro.ssb.queries.Pred` trees; both are
+normalized through :func:`~repro.ssb.queries.as_pred` and evaluated
+recursively into NumPy boolean masks by :func:`evaluate_pred`.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.ssb.queries import FilterSpec
+from repro.ssb.queries import And, FilterSpec, Leaf, Not, Or, as_pred
 from repro.storage import Table
 
 
@@ -65,9 +72,33 @@ def evaluate_filter(table: Table, spec: FilterSpec) -> np.ndarray:
     raise ValueError(f"unsupported filter operator {op!r}")
 
 
+def evaluate_pred(table: Table, pred) -> np.ndarray:
+    """Evaluate a predicate tree against ``table``, returning a boolean mask.
+
+    ``pred`` may be a :class:`~repro.ssb.queries.Pred`, a bare
+    :class:`~repro.ssb.queries.FilterSpec`, or a tuple of specs (the legacy
+    conjunction shape).  An empty :class:`~repro.ssb.queries.And` selects
+    every row; an empty :class:`~repro.ssb.queries.Or` selects none (the
+    identities of the respective operators).
+    """
+    pred = as_pred(pred)
+    if isinstance(pred, Leaf):
+        return evaluate_filter(table, pred.spec)
+    if isinstance(pred, And):
+        mask = np.ones(table.num_rows, dtype=bool)
+        for child in pred.children:
+            mask &= evaluate_pred(table, child)
+        return mask
+    if isinstance(pred, Or):
+        mask = np.zeros(table.num_rows, dtype=bool)
+        for child in pred.children:
+            mask |= evaluate_pred(table, child)
+        return mask
+    if isinstance(pred, Not):
+        return ~evaluate_pred(table, pred.child)
+    raise TypeError(f"unsupported predicate node {type(pred).__name__}")
+
+
 def evaluate_filters(table: Table, specs) -> np.ndarray:
     """AND a sequence of filters together (all-true for an empty sequence)."""
-    mask = np.ones(table.num_rows, dtype=bool)
-    for spec in specs:
-        mask &= evaluate_filter(table, spec)
-    return mask
+    return evaluate_pred(table, And(*specs))

@@ -16,8 +16,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.engine.expr import evaluate_filters
-from repro.ssb.queries import AGGREGATE_OPS, SSBQuery
+from repro.engine.cache import active_cache
+from repro.engine.expr import evaluate_pred
+from repro.ssb.queries import AGGREGATE_OPS, SSBQuery, conjuncts
 from repro.storage import Database, Table
 
 #: Bytes per dimension hash-table entry: a 4-byte key and a 4-byte payload
@@ -158,22 +159,43 @@ def execute_query(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
     Returns ``(value, profile)`` where ``value`` is the scalar aggregate for
     flight-1 queries or a dict mapping group-key tuples (dictionary codes /
     integers) to the aggregate for grouped queries.
+
+    When a :class:`~repro.engine.cache.ExecutionCache` is active (a
+    :class:`~repro.api.Session` runs the same query on several engines), the
+    functional pass happens once and subsequent calls replay the memoized
+    answer and profile.
     """
+    cache = active_cache()
+    if cache is not None:
+        return cache.fetch(db, query, _execute_query_uncached)
+    return _execute_query_uncached(db, query)
+
+
+def _execute_query_uncached(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
     fact = db.table(query.fact)
     n = fact.num_rows
     profile = QueryProfile(query=query.name, fact_rows=n, fact_filter_selectivity=1.0)
 
     # ------------------------------------------------------------------
-    # Fact-table filters
+    # Fact-table predicate.  Top-level conjuncts apply one at a time (so the
+    # profile records the term-by-term shrink of the surviving rows, as the
+    # legacy filter list did); within the whole predicate each referenced
+    # column's bytes are charged exactly once, no matter how many leaves of
+    # an OR/NOT tree mention it -- a single scan feeds every comparison.
     # ------------------------------------------------------------------
     alive = np.ones(n, dtype=bool)
     rows_alive = float(n)
-    for spec in query.fact_filters:
-        column_bytes = float(fact.column(spec.column).nbytes)
-        profile.column_accesses.append(
-            ColumnAccess(column=spec.column, column_bytes=column_bytes, rows_needed=rows_alive, role="filter")
-        )
-        alive &= evaluate_filters(fact, [spec])
+    charged: set[str] = set()
+    for term in conjuncts(query.predicate):
+        for column in term.columns():
+            if column in charged:
+                continue
+            charged.add(column)
+            column_bytes = float(fact.column(column).nbytes)
+            profile.column_accesses.append(
+                ColumnAccess(column=column, column_bytes=column_bytes, rows_needed=rows_alive, role="filter")
+            )
+        alive &= evaluate_pred(fact, term)
         rows_alive = float(np.count_nonzero(alive))
     profile.fact_filter_selectivity = rows_alive / n if n else 0.0
 
@@ -183,7 +205,7 @@ def execute_query(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
     group_columns: dict[str, np.ndarray] = {}
     for join in query.joins:
         dimension = db.table(join.dimension)
-        dim_mask = evaluate_filters(dimension, join.filters)
+        dim_mask = evaluate_pred(dimension, join.predicate)
         build_rows = int(np.count_nonzero(dim_mask))
         lookup, present = _build_lookup(dimension, join.dimension_key, dim_mask, join.payload)
 
@@ -207,7 +229,7 @@ def execute_query(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
 
         build_scan_bytes = float(
             dimension.column(join.dimension_key).nbytes
-            + sum(dimension.column(f.column).nbytes for f in join.filters)
+            + sum(dimension.column(c).nbytes for c in join.predicate.columns())
             + (dimension.column(join.payload).nbytes if join.payload else 0)
         )
         profile.joins.append(

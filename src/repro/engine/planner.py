@@ -21,7 +21,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.engine.expr import evaluate_filters
+from repro.engine.expr import evaluate_pred
 from repro.engine.plan import HASH_ENTRY_BYTES
 from repro.hardware.presets import NVIDIA_V100
 from repro.hardware.specs import GPUSpec
@@ -83,11 +83,9 @@ class JoinOrderPlanner:
 
     def _join_selectivity(self, join: JoinSpec) -> float:
         table = self.db.table(join.dimension)
-        if not join.filters:
-            return 1.0
-        mask = evaluate_filters(table, join.filters)
         if table.num_rows == 0:
             return 1.0
+        mask = evaluate_pred(table, join.predicate)
         return float(np.count_nonzero(mask)) / table.num_rows
 
     def estimate_order_cost(

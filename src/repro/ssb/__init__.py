@@ -20,20 +20,34 @@ from repro.ssb.queries import (
     QUERIES,
     QUERY_ORDER,
     AggregateSpec,
+    And,
     FilterSpec,
     JoinSpec,
+    Leaf,
+    Not,
+    Or,
+    Pred,
     SSBQuery,
+    as_pred,
+    conjuncts,
 )
 from repro.ssb.schema import SSB_CARDINALITIES, ssb_table_rows
 
 __all__ = [
     "AggregateSpec",
+    "And",
     "FilterSpec",
     "JoinSpec",
+    "Leaf",
+    "Not",
+    "Or",
+    "Pred",
     "QUERIES",
     "QUERY_ORDER",
     "SSBQuery",
     "SSB_CARDINALITIES",
+    "as_pred",
+    "conjuncts",
     "generate_ssb",
     "ssb_table_rows",
 ]

@@ -17,7 +17,8 @@ encoded columns (q2.2's brand range) translate directly to code ranges.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable, Iterator, Union
 
 #: Predicate operators understood by :mod:`repro.engine.expr`.
 FILTER_OPS = ("eq", "ne", "lt", "le", "gt", "ge", "between", "in")
@@ -44,16 +45,238 @@ class FilterSpec:
     value: object
     encoded: bool = False
 
+    # Boolean composition: specs combine directly into predicate trees, so
+    # hand-written queries read the same as builder-made ones.
+    def __and__(self, other: "PredLike") -> "Pred":
+        return as_pred(self) & as_pred(other)
+
+    def __or__(self, other: "PredLike") -> "Pred":
+        return as_pred(self) | as_pred(other)
+
+    def __invert__(self) -> "Pred":
+        return ~as_pred(self)
+
+
+def _render_spec(spec: FilterSpec) -> str:
+    """SQL-flavoured rendering of one leaf predicate."""
+    symbol = {"eq": "=", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+    quote = (lambda v: f"'{v}'" if isinstance(v, str) else str(v))
+    if spec.op == "between":
+        low, high = spec.value
+        return f"{spec.column} BETWEEN {quote(low)} AND {quote(high)}"
+    if spec.op == "in":
+        return f"{spec.column} IN ({', '.join(quote(v) for v in spec.value)})"
+    return f"{spec.column} {symbol[spec.op]} {quote(spec.value)}"
+
+
+class Pred:
+    """Base of the boolean predicate algebra.
+
+    A predicate is a tree whose leaves are :class:`FilterSpec` single-column
+    comparisons and whose inner nodes are :class:`And`, :class:`Or`, and
+    :class:`Not`.  Trees compose with the bitwise operators (``&``, ``|``,
+    ``~``), compare structurally, and are hashable, so they can sit inside
+    the frozen :class:`SSBQuery`/:class:`JoinSpec` specs (and inside cache
+    keys) exactly like the legacy ``tuple[FilterSpec, ...]`` conjunctions,
+    which :func:`as_pred` normalizes into :class:`And` nodes.
+    """
+
+    __slots__ = ()
+
+    def __and__(self, other: "PredLike") -> "Pred":
+        return And(*self._flatten(And), *as_pred(other)._flatten(And))
+
+    def __or__(self, other: "PredLike") -> "Pred":
+        return Or(*self._flatten(Or), *as_pred(other)._flatten(Or))
+
+    def __invert__(self) -> "Pred":
+        return Not(self)
+
+    def _flatten(self, kind: type) -> tuple["Pred", ...]:
+        """Children to splice when combining under ``kind`` (associativity)."""
+        if isinstance(self, kind):
+            return self.children  # type: ignore[attr-defined]
+        return (self,)
+
+    # ------------------------------------------------------------------
+    def leaves(self) -> Iterator[FilterSpec]:
+        """Every :class:`FilterSpec` leaf of the tree, left to right."""
+        raise NotImplementedError
+
+    def map_leaves(self, fn: Callable[[FilterSpec], FilterSpec]) -> "Pred":
+        """The same tree shape with every leaf spec replaced by ``fn(spec)``."""
+        raise NotImplementedError
+
+    def columns(self) -> tuple[str, ...]:
+        """Distinct columns the tree references, in first-use order."""
+        seen: list[str] = []
+        for spec in self.leaves():
+            if spec.column not in seen:
+                seen.append(spec.column)
+        return tuple(seen)
+
+
+class Leaf(Pred):
+    """A single-column comparison (one :class:`FilterSpec`)."""
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: FilterSpec) -> None:
+        if not isinstance(spec, FilterSpec):
+            raise TypeError(f"Leaf wraps a FilterSpec, got {type(spec).__name__}")
+        self.spec = spec
+
+    def leaves(self) -> Iterator[FilterSpec]:
+        yield self.spec
+
+    def map_leaves(self, fn: Callable[[FilterSpec], FilterSpec]) -> "Pred":
+        replaced = fn(self.spec)
+        return self if replaced is self.spec else Leaf(replaced)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Leaf) and other.spec == self.spec
+
+    def __hash__(self) -> int:
+        return hash((Leaf, self.spec))
+
+    def __repr__(self) -> str:
+        return f"Leaf({self.spec!r})"
+
+    def __str__(self) -> str:
+        return _render_spec(self.spec)
+
+
+class _Junction(Pred):
+    """Shared machinery of the variadic :class:`And` / :class:`Or` nodes."""
+
+    __slots__ = ("children",)
+    _word = ""
+
+    def __init__(self, *children: "PredLike") -> None:
+        self.children: tuple[Pred, ...] = tuple(as_pred(child) for child in children)
+
+    def leaves(self) -> Iterator[FilterSpec]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def map_leaves(self, fn: Callable[[FilterSpec], FilterSpec]) -> "Pred":
+        return type(self)(*(child.map_leaves(fn) for child in self.children))
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.children == self.children  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.children))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({', '.join(repr(c) for c in self.children)})"
+
+    def __str__(self) -> str:
+        if not self.children:
+            return "TRUE" if isinstance(self, And) else "FALSE"
+        if len(self.children) == 1:
+            return str(self.children[0])
+        return "(" + f" {self._word} ".join(str(c) for c in self.children) + ")"
+
+
+class And(_Junction):
+    """Conjunction: true where every child is true (vacuously true if empty)."""
+
+    __slots__ = ()
+    _word = "AND"
+
+
+class Or(_Junction):
+    """Disjunction: true where any child is true (vacuously false if empty)."""
+
+    __slots__ = ()
+    _word = "OR"
+
+
+class Not(Pred):
+    """Negation of one child predicate."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: "PredLike") -> None:
+        self.child = as_pred(child)
+
+    def leaves(self) -> Iterator[FilterSpec]:
+        yield from self.child.leaves()
+
+    def map_leaves(self, fn: Callable[[FilterSpec], FilterSpec]) -> "Pred":
+        return Not(self.child.map_leaves(fn))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and other.child == self.child
+
+    def __hash__(self) -> int:
+        return hash((Not, self.child))
+
+    def __repr__(self) -> str:
+        return f"Not({self.child!r})"
+
+    def __str__(self) -> str:
+        return f"NOT {self.child}"
+
+
+#: Anything the spec layer accepts where a predicate is expected.
+PredLike = Union[Pred, FilterSpec, tuple]
+
+
+def as_pred(obj) -> Pred:
+    """Normalize ``obj`` into a :class:`Pred` tree.
+
+    Accepts a tree (returned as-is), a bare :class:`FilterSpec` (wrapped in a
+    :class:`Leaf`), or the legacy ``tuple``/``list`` of specs (wrapped in an
+    :class:`And`), so every consumer -- mask evaluation, profiling, planning,
+    validation -- can walk one shape.
+    """
+    if isinstance(obj, Pred):
+        return obj
+    if isinstance(obj, FilterSpec):
+        return Leaf(obj)
+    if obj is None:
+        return And()
+    if isinstance(obj, (tuple, list)):
+        return And(*obj)
+    raise TypeError(
+        f"expected a Pred, FilterSpec, or tuple of FilterSpec, got {type(obj).__name__}"
+    )
+
+
+def conjuncts(pred: "PredLike") -> tuple[Pred, ...]:
+    """The top-level AND terms of a predicate (the tree itself if not an And).
+
+    The executor applies conjuncts one at a time so the profile records how
+    the surviving-row count shrinks term by term, exactly as the legacy
+    filter list did.
+    """
+    pred = as_pred(pred)
+    if isinstance(pred, And):
+        return pred.children
+    return (pred,)
+
 
 @dataclass(frozen=True)
 class JoinSpec:
-    """A join between the fact table and one dimension table."""
+    """A join between the fact table and one dimension table.
+
+    ``filters`` restricts the dimension before the hash-table build: either
+    the legacy tuple of :class:`FilterSpec` (an implicit conjunction) or an
+    arbitrary :class:`Pred` tree.
+    """
 
     dimension: str
     fact_key: str
     dimension_key: str
-    filters: tuple[FilterSpec, ...] = ()
+    filters: "tuple[FilterSpec, ...] | Pred" = ()
     payload: str | None = None
+
+    @property
+    def predicate(self) -> Pred:
+        """The dimension restriction as a normalized :class:`Pred` tree."""
+        return as_pred(self.filters)
 
 
 @dataclass(frozen=True)
@@ -83,7 +306,7 @@ class SSBQuery:
 
     name: str
     flight: int
-    fact_filters: tuple[FilterSpec, ...]
+    fact_filters: "tuple[FilterSpec, ...] | Pred"
     joins: tuple[JoinSpec, ...]
     group_by: tuple[str, ...]
     aggregate: AggregateSpec
@@ -94,12 +317,14 @@ class SSBQuery:
     def has_group_by(self) -> bool:
         return bool(self.group_by)
 
+    @property
+    def predicate(self) -> Pred:
+        """The fact-table restriction as a normalized :class:`Pred` tree."""
+        return as_pred(self.fact_filters)
+
     def fact_columns_accessed(self) -> list[str]:
         """Fact-table columns the query touches (filters, keys, measures)."""
-        columns: list[str] = []
-        for f in self.fact_filters:
-            if f.column not in columns:
-                columns.append(f.column)
+        columns: list[str] = list(self.predicate.columns())
         for join in self.joins:
             if join.fact_key not in columns:
                 columns.append(join.fact_key)
