@@ -1,0 +1,130 @@
+"""Batched Session executor: run_many with and without shared builds.
+
+Times the 13 canonical SSB queries through ``Session.run_many`` twice --
+serial (every query rebuilds its own dimension lookups) and batched
+(``share_builds=True``: the batch's build operators are grouped and each
+distinct dimension lookup is constructed exactly once) -- and writes the
+wall-clock times, build-cache counters, and per-query simulated times to
+``BENCH_batched.json``.
+
+The *simulated* per-query costs are identical by construction (engines cost
+the same profiles); what sharing removes is the repeated functional build
+work of the reproduction itself, plus it demonstrates the counters the
+batched executor exposes.
+
+Run standalone (CI smoke uses a tiny scale factor)::
+
+    PYTHONPATH=src python benchmarks/bench_batched_session.py --scale-factor 0.01
+
+or under pytest-benchmark alongside the other figures::
+
+    pytest benchmarks/bench_batched_session.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.api import Session
+from repro.engine.physical import lower_query
+from repro.ssb.generator import generate_ssb
+from repro.ssb.queries import QUERIES, QUERY_ORDER
+
+DEFAULT_SCALE_FACTOR = 0.01
+DEFAULT_ENGINE = "cpu"
+
+
+def run_batched_comparison(
+    scale_factor: float = DEFAULT_SCALE_FACTOR,
+    engine: str = DEFAULT_ENGINE,
+    seed: int = 7,
+    repeats: int = 3,
+) -> dict:
+    """Time run_many serial vs share_builds and collect the counters."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    db = generate_ssb(scale_factor=scale_factor, seed=seed)
+    queries = [QUERIES[name] for name in QUERY_ORDER]
+
+    def timed(share_builds: bool) -> tuple[float, Session, list]:
+        best = float("inf")
+        session = results = None
+        for _ in range(repeats):
+            # Fresh session each repeat: the execution memo must not let
+            # later repeats replay the first one's answers.
+            session = Session(db, cache=False)
+            start = time.perf_counter()
+            results = session.run_many(queries, engine=engine, share_builds=share_builds)
+            best = min(best, time.perf_counter() - start)
+        return best, session, results
+
+    serial_s, _, serial_results = timed(share_builds=False)
+    shared_s, shared_session, shared_results = timed(share_builds=True)
+
+    for a, b in zip(serial_results, shared_results):
+        if a.value != b.value or a.simulated_ms != b.simulated_ms:
+            raise AssertionError(f"shared-build run diverged on {a.query}")
+
+    build_info = shared_session.cache_info("builds")
+    distinct_builds = len({b.key for q in queries for b in lower_query(q).builds})
+    total_joins = sum(len(q.joins) for q in queries)
+    return {
+        "scale_factor": scale_factor,
+        "engine": engine,
+        "queries": len(queries),
+        "serial_wall_s": serial_s,
+        "shared_wall_s": shared_s,
+        "speedup": serial_s / shared_s if shared_s else float("inf"),
+        "total_joins": total_joins,
+        "distinct_builds": distinct_builds,
+        "build_cache": {
+            "hits": build_info.hits,
+            "misses": build_info.misses,
+            "size": build_info.size,
+        },
+        "per_query_simulated_ms": {
+            r.query: r.simulated_ms for r in shared_results
+        },
+    }
+
+
+def test_batched_session(run_once):
+    """pytest-benchmark entry point alongside the figure benchmarks."""
+    result = run_once(run_batched_comparison, scale_factor=DEFAULT_SCALE_FACTOR)
+    print("\nBatched Session -- run_many with vs without shared builds")
+    print(
+        f"serial {result['serial_wall_s'] * 1e3:.1f} ms, "
+        f"shared {result['shared_wall_s'] * 1e3:.1f} ms "
+        f"({result['speedup']:.2f}x), "
+        f"{result['distinct_builds']} distinct builds for {result['total_joins']} joins"
+    )
+    # Every distinct build constructed exactly once; every join served.
+    assert result["build_cache"]["misses"] == result["distinct_builds"]
+    assert result["build_cache"]["hits"] == result["total_joins"]
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale-factor", type=float, default=DEFAULT_SCALE_FACTOR)
+    parser.add_argument("--engine", default=DEFAULT_ENGINE)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default="BENCH_batched.json")
+    args = parser.parse_args(argv)
+
+    result = run_batched_comparison(
+        scale_factor=args.scale_factor, engine=args.engine, seed=args.seed, repeats=args.repeats
+    )
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    print(f"\nwrote {args.output}")
+
+    if result["build_cache"]["misses"] != result["distinct_builds"]:
+        raise SystemExit("build sharing broken: distinct builds constructed more than once")
+
+
+if __name__ == "__main__":
+    main()

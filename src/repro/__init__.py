@@ -58,29 +58,36 @@ from repro.api import (
     register_engine,
 )
 from repro.engine import (
+    BuildArtifactCache,
     CoprocessorEngine,
     CPUStandaloneEngine,
     GPUStandaloneEngine,
     HyperLikeEngine,
     JoinOrderPlanner,
+    LogicalPlan,
     MonetDBLikeEngine,
     OmnisciLikeEngine,
+    PhysicalPlan,
     QueryResult,
+    lower_query,
 )
 from repro.ssb import QUERIES, And, FilterSpec, Not, Or, Pred, SSBQuery, generate_ssb
 
 __all__ = [
     "And",
+    "BuildArtifactCache",
     "CPUStandaloneEngine",
     "CoprocessorEngine",
     "FilterSpec",
     "GPUStandaloneEngine",
     "HyperLikeEngine",
     "JoinOrderPlanner",
+    "LogicalPlan",
     "MonetDBLikeEngine",
     "Not",
     "OmnisciLikeEngine",
     "Or",
+    "PhysicalPlan",
     "Pred",
     "Q",
     "QUERIES",
@@ -93,6 +100,7 @@ __all__ = [
     "available_engines",
     "col",
     "generate_ssb",
+    "lower_query",
     "register_engine",
     "__version__",
 ]

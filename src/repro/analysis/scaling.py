@@ -50,6 +50,12 @@ def scale_profile(
         access.column_bytes *= fact_ratio
         access.rows_needed *= fact_ratio
 
+    # Predicate shape (leaf/branch counts) is scale-invariant; only the
+    # per-term row counts grow with the fact table.
+    for stage in scaled.filter_stages:
+        stage.rows_in *= fact_ratio
+        stage.rows_out *= fact_ratio
+
     for stage in scaled.joins:
         dim_base = ssb_table_rows(stage.dimension, base_scale_factor)
         dim_target = ssb_table_rows(stage.dimension, target_scale_factor)

@@ -24,6 +24,14 @@ profile of :func:`~repro.engine.plan.execute_query`) per query, so
 ``compare`` across N engines executes the answer once and replays it N-1
 times; pass ``cache=False`` (to the constructor or per call) to opt out,
 and read :meth:`Session.cache_info` for hit/miss counters.
+
+``run_many(..., share_builds=True)`` additionally runs the batch through
+the staged physical pipeline's shared-build path: the batch's
+:class:`~repro.engine.physical.BuildLookup` operators are topologically
+grouped, each distinct dimension lookup is constructed exactly once, and
+every query's probes consume the shared artifacts.
+:meth:`Session.cache_info('builds') <Session.cache_info>` reports the
+shared-build hit/miss counters.
 """
 
 from __future__ import annotations
@@ -35,7 +43,14 @@ from typing import Iterable, Sequence
 from repro.api.builder import QueryBuilder
 from repro.api.registry import DEFAULT_REGISTRY, Engine, EngineRegistry
 from repro.api.resultset import ResultSet
-from repro.engine.cache import CacheInfo, ExecutionCache, activate
+from repro.engine.cache import (
+    BuildArtifactCache,
+    CacheInfo,
+    ExecutionCache,
+    activate,
+    activate_builds,
+)
+from repro.engine.physical import lower_query, staged_builds
 from repro.engine.planner import JoinOrderPlanner
 from repro.ssb.queries import SSBQuery
 from repro.storage import Database
@@ -161,12 +176,14 @@ class Session:
         planner: JoinOrderPlanner | None = None,
         cache: bool = True,
         cache_size: int = 64,
+        build_cache_size: int = 128,
     ) -> None:
         self.db = db
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self._planner = planner
         self._engines: dict[str, Engine] = {}
         self._cache = ExecutionCache(db, maxsize=cache_size) if cache else None
+        self._build_cache = BuildArtifactCache(db, maxsize=build_cache_size)
 
     # ------------------------------------------------------------------
     @property
@@ -200,16 +217,27 @@ class Session:
         return query
 
     # ------------------------------------------------------------------
-    def cache_info(self) -> CacheInfo:
-        """Hit/miss counters of the functional-execution memo."""
+    def cache_info(self, cache: str = "execution") -> CacheInfo:
+        """Hit/miss counters of one of the session's caches.
+
+        ``cache="execution"`` (the default) reports the functional-execution
+        memo; ``cache="builds"`` reports the shared dimension-build artifact
+        cache that ``run_many(..., share_builds=True)`` populates.
+        """
+        if cache in ("builds", "build"):
+            return self._build_cache.info()
+        if cache != "execution":
+            raise ValueError(f"unknown cache {cache!r}; expected 'execution' or 'builds'")
         if self._cache is None:
             return CacheInfo(hits=0, misses=0, size=0, maxsize=0)
         return self._cache.info()
 
     def clear_cache(self) -> None:
-        """Drop every memoized execution (e.g. after mutating the database)."""
+        """Drop every memoized execution and build artifact (e.g. after
+        mutating the database)."""
         if self._cache is not None:
             self._cache.clear()
+        self._build_cache.clear()
 
     def _execute(self, engine_name: str, prepared: SSBQuery, cache: bool | None) -> ResultSet:
         chosen = self.engine(engine_name)
@@ -241,12 +269,46 @@ class Session:
         *,
         optimize: bool = False,
         cache: bool | None = None,
+        share_builds: bool = False,
     ) -> list[ResultSet]:
-        """Execute a batch of queries on one engine."""
-        return [
-            self._execute(engine, self.prepare(query, optimize=optimize), cache)
-            for query in queries
+        """Execute a batch of queries on one engine.
+
+        With ``share_builds=True`` the batch runs as one unit through the
+        physical pipeline's shared-build path: every query is lowered, the
+        batch's build operators are topologically grouped and deduplicated
+        by ``(dimension, key_column, payload_column, predicate)``, each
+        distinct dimension lookup is constructed exactly once up front, and
+        every query's probes consume the shared (immutable) artifacts.
+        Answers and profiles are identical to the serial path -- only the
+        repeated build work disappears.  ``cache_info("builds")`` reports
+        the resulting hit/miss counters.
+        """
+        prepared = [self.prepare(query, optimize=optimize) for query in queries]
+        if not share_builds:
+            return [self._execute(engine, query, cache) for query in prepared]
+
+        self.engine(engine)  # fail fast on a bad engine name, before any build work
+
+        # Queries the execution memo will replay never probe, so their
+        # builds would be pure wasted phase-1 work -- skip them.
+        use_cache = self._cache is not None and cache is not False
+        pending = [
+            query for query in prepared
+            if not (use_cache and self._cache.contains(self.db, query))
         ]
+        builds = staged_builds(lower_query(query) for query in pending)
+        # The exactly-once guarantee requires every distinct artifact to stay
+        # resident for the whole batch: grow the LRU to fit (it never shrinks
+        # back, so later batches keep benefiting).
+        self._build_cache.maxsize = max(self._build_cache.maxsize, len(builds))
+        with activate_builds(self._build_cache) as build_cache:
+            # Phase 1: construct each of the batch's distinct builds once
+            # (sources before dependents, once snowflake chains lower).
+            for build in builds:
+                build_cache.fetch(self.db, build.key, lambda: build.build(self.db))
+            # Phase 2: per-query probe/aggregate stages; every BuildLookup
+            # now resolves from the shared artifact cache.
+            return [self._execute(engine, query, cache) for query in prepared]
 
     def compare(
         self,

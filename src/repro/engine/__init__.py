@@ -25,18 +25,36 @@ attribute plus ``run(query) -> QueryResult``) and registers itself with the
 default engine registry under a short key (``"cpu"``, ``"gpu"``,
 ``"coprocessor"``, ``"hyper"``, ``"monetdb"``, ``"omnisci"``), so
 :class:`repro.api.Session` can dispatch to any of them by name.
+
+All engines share one functional execution pass: queries are lowered to the
+staged physical pipeline of :mod:`repro.engine.physical` (ScanFilter /
+BuildLookup / ProbeJoin / Aggregate operators whose dimension builds can be
+shared across a batch), which emits the :class:`QueryProfile` each engine
+then costs under its own hardware model.
 """
 
 from repro.engine.baselines import HyperLikeEngine, MonetDBLikeEngine, OmnisciLikeEngine
-from repro.engine.cache import CacheInfo, ExecutionCache
+from repro.engine.cache import BuildArtifactCache, CacheInfo, ExecutionCache
 from repro.engine.coprocessor import CoprocessorEngine
 from repro.engine.cpu_engine import CPUStandaloneEngine
 from repro.engine.gpu_engine import GPUStandaloneEngine
-from repro.engine.plan import QueryProfile, execute_query
+from repro.engine.physical import (
+    BuildArtifact,
+    LogicalJoin,
+    LogicalPlan,
+    PhysicalPlan,
+    execute_physical,
+    lower,
+    lower_query,
+    staged_builds,
+)
+from repro.engine.plan import QueryProfile, execute_query, execute_query_monolithic
 from repro.engine.planner import JoinOrderPlanner, PlanChoice
 from repro.engine.result import QueryResult
 
 __all__ = [
+    "BuildArtifact",
+    "BuildArtifactCache",
     "CPUStandaloneEngine",
     "CacheInfo",
     "CoprocessorEngine",
@@ -44,10 +62,18 @@ __all__ = [
     "GPUStandaloneEngine",
     "HyperLikeEngine",
     "JoinOrderPlanner",
+    "LogicalJoin",
+    "LogicalPlan",
     "MonetDBLikeEngine",
     "OmnisciLikeEngine",
+    "PhysicalPlan",
     "PlanChoice",
     "QueryProfile",
     "QueryResult",
+    "execute_physical",
     "execute_query",
+    "execute_query_monolithic",
+    "lower",
+    "lower_query",
+    "staged_builds",
 ]

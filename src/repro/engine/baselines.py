@@ -64,13 +64,18 @@ class HyperLikeEngine:
             time.merge(self.simulator.run(traffic, label=f"build-{stage.dimension}").time,
                        prefix=f"build.{stage.dimension}.")
 
-        # Pipelined probe pass: scalar predicates, regular stores.
+        # Pipelined probe pass: scalar predicates, regular stores.  Compiled
+        # scalar code evaluates one data-dependent branch per predicate leaf
+        # plus one short-circuit jump per OR alternative, so branchy
+        # disjunctions pay extra misprediction stalls that fused band
+        # predicates do not.  (Counts come from the profile's filter stages,
+        # so rescaled profiles charge consistently.)
         streaming = TrafficCounter(
             sequential_read_bytes=profile.selective_column_bytes(line),
             sequential_write_bytes=float(profile.num_groups) * profile.output_row_bytes,
             compute_ops=float(profile.fact_rows) * 8.0,
             data_dependent_branches=float(profile.fact_rows)
-            * sum(1 for _ in query.predicate.leaves()),
+            * float(profile.filter_leaf_count() + profile.filter_or_branches()),
             branch_miss_rate=0.25,
         )
         time.merge(self.simulator.run(streaming, use_simd=False, label="fact-scan").time, prefix="scan.")
@@ -136,6 +141,35 @@ class MonetDBLikeEngine:
             )
             time.merge(self.simulator.run(traffic, cores=self.effective_cores, label=f"select-{access.column}").time,
                        prefix=f"select{index}.")
+
+        # Operator-at-a-time disjunctions: every OR leaf beyond the one
+        # select per column above is its own extra scan, and every OR
+        # alternative needs a selection-vector union pass -- all fully
+        # materialized.  Fused band predicates (pure conjunctions) add
+        # nothing here; this is the materialization tax the paper warns
+        # about when such systems are used as baselines.
+        for index, stage in enumerate(profile.filter_stages):
+            extra_scans = max(stage.leaf_count - len(stage.columns), 0)
+            for scan in range(extra_scans):
+                traffic = TrafficCounter(
+                    sequential_read_bytes=n * 4,
+                    sequential_write_bytes=n * 4,
+                    compute_ops=n * 2.0,
+                )
+                time.merge(
+                    self.simulator.run(traffic, cores=self.effective_cores, label=f"select-leaf{index}.{scan}").time,
+                    prefix=f"select-leaf{index}.{scan}.",
+                )
+            for union in range(stage.or_branches):
+                traffic = TrafficCounter(
+                    sequential_read_bytes=n * 8,
+                    sequential_write_bytes=n * 4,
+                    compute_ops=n * 1.0,
+                )
+                time.merge(
+                    self.simulator.run(traffic, cores=self.effective_cores, label=f"union{index}.{union}").time,
+                    prefix=f"union{index}.{union}.",
+                )
 
         # Build phase.
         for stage in profile.joins:
@@ -223,6 +257,23 @@ class OmnisciLikeEngine:
                 compute_ops=rows * 2.0,
             )
             time.merge(self.simulator.run_kernel(traffic, launch).time, prefix=f"op{index}.")
+
+        # Disjunctions are operators too: one extra kernel per OR leaf
+        # beyond the single scan each column got above, and one union kernel
+        # per OR alternative, each materializing a full-width intermediate.
+        # The fused tile kernel (Standalone GPU) evaluates the same tree
+        # predicated in registers for free -- the Section 3.3 asymmetry.
+        for index, stage in enumerate(profile.filter_stages):
+            extra_kernels = max(stage.leaf_count - len(stage.columns), 0) + stage.or_branches
+            for extra in range(extra_kernels):
+                traffic = TrafficCounter(
+                    sequential_read_bytes=n * 8,
+                    sequential_write_bytes=n * 4,
+                    compute_ops=n * 1.0,
+                )
+                time.merge(
+                    self.simulator.run_kernel(traffic, launch).time, prefix=f"or{index}.{extra}."
+                )
 
         # Join probe kernels with scattered output writes.
         for stage in profile.joins:

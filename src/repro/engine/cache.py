@@ -1,18 +1,35 @@
-"""Memoization of the functional execution pass.
+"""Caches shared across query executions.
 
-Every engine answers a query by first running the shared functional
-executor (:func:`repro.engine.plan.execute_query`) and then costing the
-collected profile under its own hardware model.  The *answer* and the
-*profile* depend only on ``(database, query)``, so when one query runs on
-several engines -- :meth:`repro.api.Session.compare` across the paper's six
-execution strategies -- the functional pass is pure repeated work.
+Two caches live here, both activated through context-local scopes:
 
-:class:`ExecutionCache` memoizes that pass.  A :class:`~repro.api.Session`
-activates its cache around each engine call via :func:`activate`;
-``execute_query`` consults :func:`active_cache` and replays the memoized
-``(value, profile)`` on a hit.  Cached entries are deep-copied on the way
-out so an engine (or the experiment harness, which rescales profiles to the
-paper's SF 20 sizes) can never mutate another engine's view.
+* :class:`ExecutionCache` memoizes the whole functional execution pass.
+  Every engine answers a query by first running the shared functional
+  executor (:func:`repro.engine.plan.execute_query`) and then costing the
+  collected profile under its own hardware model.  The *answer* and the
+  *profile* depend only on ``(database, query)``, so when one query runs on
+  several engines -- :meth:`repro.api.Session.compare` across the paper's
+  six execution strategies -- the functional pass is pure repeated work.
+  A :class:`~repro.api.Session` activates its cache around each engine call
+  via :func:`activate`; ``execute_query`` consults :func:`active_cache` and
+  replays the memoized ``(value, profile)`` on a hit.  Cached entries are
+  deep-copied on the way out so an engine (or the experiment harness, which
+  rescales profiles to the paper's SF 20 sizes) can never mutate another
+  engine's view.
+
+* :class:`BuildArtifactCache` memoizes one *stage* of that pass: the
+  dimension hash-table builds of the physical pipeline
+  (:class:`repro.engine.physical.BuildLookup`).  A build artifact depends
+  only on ``(dimension, key_column, payload_column, predicate)``, so a batch
+  of queries touching the same dimensions -- ``Session.run_many(...,
+  share_builds=True)`` -- constructs each distinct lookup once and shares it
+  across the batch (the ROADMAP's batched-executor item).  Artifacts are
+  immutable (their arrays are marked read-only), so sharing is safe without
+  copying.
+
+The active-cache slots are :class:`contextvars.ContextVar`, not module
+globals: nested :func:`activate` scopes restore the previous cache on exit
+via tokens, and concurrent batch executions (threads or asyncio tasks) each
+see their own binding instead of clobbering one another.
 """
 
 from __future__ import annotations
@@ -20,7 +37,8 @@ from __future__ import annotations
 import copy
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Callable, NamedTuple
+from contextvars import ContextVar
+from typing import Callable, Hashable, NamedTuple
 
 
 class CacheInfo(NamedTuple):
@@ -70,6 +88,15 @@ class ExecutionCache:
             self._entries.popitem(last=False)
         return value, profile
 
+    def contains(self, db, query) -> bool:
+        """Whether ``fetch`` would replay ``query`` without executing it."""
+        if db is not self.db:
+            return False
+        try:
+            return query in self._entries
+        except TypeError:  # unhashable hand-built spec
+            return False
+
     def info(self) -> CacheInfo:
         """Hit/miss counters and occupancy."""
         return CacheInfo(self.hits, self.misses, len(self._entries), self.maxsize)
@@ -87,24 +114,103 @@ class ExecutionCache:
         return f"ExecutionCache({self.info()})"
 
 
-#: The cache the *current* execution context consults, if any.  Installed by
-#: :func:`activate`; plain module state (not per-thread) because engine runs
-#: are synchronous single-threaded calls.
-_ACTIVE: ExecutionCache | None = None
+class BuildArtifactCache:
+    """An LRU memo of dimension build artifacts, shared across a query batch.
+
+    Keys are the full identity of a hash-table build -- ``(dimension,
+    key_column, payload_column, predicate)`` -- so two joins share an
+    artifact exactly when a real batched executor could reuse the build.
+    The cache is bound to one database at construction (artifacts embed that
+    database's arrays); :meth:`fetch` for a different database falls through
+    to an uncached build, exactly like :class:`ExecutionCache`.
+    """
+
+    def __init__(self, db: object, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.db = db
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def fetch(self, db, key: Hashable, build: Callable[[], object]):
+        """``build()``, memoized under ``key`` for the bound database.
+
+        Hand-built specs can hold unhashable constants (e.g. a list inside a
+        predicate); those fall through to an uncached build rather than
+        erroring, so exotic queries still run -- they just never share.
+        """
+        if db is not self.db:
+            return build()
+        try:
+            cached = self._entries.get(key)
+        except TypeError:  # unhashable hand-built predicate
+            return build()
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        artifact = build()
+        self._entries[key] = artifact
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return artifact
+
+    def info(self) -> CacheInfo:
+        """Hit/miss counters and occupancy."""
+        return CacheInfo(self.hits, self.misses, len(self._entries), self.maxsize)
+
+    def clear(self) -> None:
+        """Drop every artifact and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BuildArtifactCache({self.info()})"
+
+
+#: The caches the *current* execution context consults, if any.  Installed by
+#: :func:`activate` / :func:`activate_builds`.  ContextVars (not module
+#: globals) so nested scopes restore correctly and threaded batch execution
+#: cannot clobber another context's binding.
+_ACTIVE: ContextVar[ExecutionCache | None] = ContextVar("repro_active_execution_cache", default=None)
+_ACTIVE_BUILDS: ContextVar[BuildArtifactCache | None] = ContextVar(
+    "repro_active_build_cache", default=None
+)
 
 
 def active_cache() -> ExecutionCache | None:
     """The cache installed by the innermost :func:`activate`, or ``None``."""
-    return _ACTIVE
+    return _ACTIVE.get()
+
+
+def active_build_cache() -> BuildArtifactCache | None:
+    """The cache installed by the innermost :func:`activate_builds`, or ``None``."""
+    return _ACTIVE_BUILDS.get()
 
 
 @contextmanager
 def activate(cache: ExecutionCache):
     """Route ``execute_query`` calls through ``cache`` for the duration."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = cache
+    token = _ACTIVE.set(cache)
     try:
         yield cache
     finally:
-        _ACTIVE = previous
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def activate_builds(cache: BuildArtifactCache):
+    """Route physical-pipeline dimension builds through ``cache`` for the duration."""
+    token = _ACTIVE_BUILDS.set(cache)
+    try:
+        yield cache
+    finally:
+        _ACTIVE_BUILDS.reset(token)

@@ -54,11 +54,18 @@ class CPUStandaloneEngine:
         time = TimeBreakdown()
 
         # Streaming component: fact columns under the selective-access rule,
-        # plus the (small) grouped output.
+        # plus the (small) grouped output.  Fused band predicates evaluate
+        # branch-free inside the SIMD pipeline; each extra OR alternative
+        # costs one more predicated pass over the L1-resident vector to
+        # merge its lane into the selection mask, so branchy disjunctions
+        # are charged extra compute and L1 traffic (conjunctive plans are
+        # unchanged).
+        or_branches = profile.filter_or_branches()
         streaming = TrafficCounter(
             sequential_read_bytes=profile.selective_column_bytes(line),
             sequential_write_bytes=float(profile.num_groups) * profile.output_row_bytes,
-            compute_ops=float(profile.fact_rows) * 4.0,
+            shared_bytes=float(profile.fact_rows) * 4.0 * or_branches,
+            compute_ops=float(profile.fact_rows) * (4.0 + float(or_branches)),
         )
         scan_exec = self.simulator.run(
             streaming, use_simd=True, non_temporal_writes=True, label="fact-scan"

@@ -102,3 +102,37 @@ def evaluate_pred(table: Table, pred) -> np.ndarray:
 def evaluate_filters(table: Table, specs) -> np.ndarray:
     """AND a sequence of filters together (all-true for an empty sequence)."""
     return evaluate_pred(table, And(*specs))
+
+
+# ----------------------------------------------------------------------
+# Predicate shape: how a tree maps onto selection hardware.
+#
+# A conjunction of single-column comparisons evaluates as one fused,
+# branch-free pass (the paper's Section 4.2 ``pred``/``simd_pred`` selection
+# variants); every OR alternative beyond straight-line evaluation costs an
+# extra predicated pass on SIMD CPUs, a short-circuit branch on compiled
+# scalar code, and a whole extra operator (select + union of selection
+# vectors) on operator-at-a-time engines.  These helpers measure that shape
+# so the selection operators and the engine cost models can charge branchy
+# disjunctions differently from fused band predicates.
+# ----------------------------------------------------------------------
+
+def predicate_leaf_count(pred) -> int:
+    """Number of single-column comparisons in the tree."""
+    return sum(1 for _ in as_pred(pred).leaves())
+
+
+def predicate_or_branches(pred) -> int:
+    """Extra disjunctive alternatives: ``sum(len(children) - 1)`` over Or nodes.
+
+    Zero for any pure conjunction (including a fused band predicate such as
+    ``between``), so conjunctive plans cost exactly what they did before
+    disjunction support existed.
+    """
+    pred = as_pred(pred)
+    if isinstance(pred, Leaf):
+        return 0
+    if isinstance(pred, Not):
+        return predicate_or_branches(pred.child)
+    extra = max(len(pred.children) - 1, 0) if isinstance(pred, Or) else 0
+    return extra + sum(predicate_or_branches(child) for child in pred.children)

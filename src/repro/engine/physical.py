@@ -1,0 +1,568 @@
+"""The staged physical pipeline: LogicalPlan -> PhysicalPlan -> execution.
+
+The paper's central result is that engine performance is determined by *how
+work maps onto stages* -- build vs. probe passes, fused tile kernels vs.
+operator-at-a-time materialization (Sections 3.3 and 5.2).  This module
+makes those stages explicit: a declarative :class:`~repro.ssb.queries.SSBQuery`
+is first normalized into a :class:`LogicalPlan` (which can carry snowflake
+dimension->dimension join chains), then lowered to a :class:`PhysicalPlan`
+of discrete operators:
+
+* :class:`ScanFilter` -- one per top-level conjunct of the fact predicate,
+* :class:`BuildLookup` -- one hash-table build per dimension join,
+* :class:`ProbeJoin` -- the corresponding probe over the surviving rows,
+* :class:`Aggregate` -- the final (grouped) reduction.
+
+Each operator emits its own slice of the shared
+:class:`~repro.engine.plan.QueryProfile` while executing exactly (NumPy), so
+all six engines cost identical profiles to the seed monolithic executor
+(:func:`~repro.engine.plan.execute_query_monolithic`) -- the differential
+tests in ``tests/test_physical.py`` hold the two paths byte-identical.
+
+The decomposition buys two things the monolithic pass could not offer:
+
+* **Shared build artifacts.**  :class:`BuildLookup` products are immutable
+  :class:`BuildArtifact` values keyed by ``(dimension, key_column,
+  payload_column, predicate)``; with a
+  :class:`~repro.engine.cache.BuildArtifactCache` active, a batch of queries
+  touching the same dimensions constructs each distinct lookup exactly once
+  (``Session.run_many(..., share_builds=True)``).
+* **A seam for snowflake lowering.**  :class:`LogicalJoin` records the
+  probe-side ``source`` table of every join, so dimension->dimension chains
+  are *represented* today; executing them is a change to :func:`lower`
+  alone, not another executor rewrite (the ROADMAP's multi-fact item).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.engine.cache import BuildArtifactCache, active_build_cache
+from repro.engine.expr import evaluate_pred, predicate_leaf_count, predicate_or_branches
+from repro.engine.plan import (
+    HASH_ENTRY_BYTES,
+    ColumnAccess,
+    FilterStage,
+    JoinStage,
+    QueryProfile,
+    build_dimension_lookup,
+    combine_measures,
+    grouped_aggregate,
+    scalar_aggregate,
+    validate_aggregate,
+)
+from repro.ssb.queries import AggregateSpec, Pred, SSBQuery, conjuncts
+from repro.storage import Database, Table
+
+# ----------------------------------------------------------------------
+# Logical plan
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LogicalJoin:
+    """One equi-join edge of the star (or snowflake) join graph.
+
+    ``source`` is the table the probe-side key column lives on: the fact
+    table for every single-hop star join, or another dimension for a
+    snowflake chain.  The logical plan carries both; only single-hop edges
+    lower to physical operators today.
+    """
+
+    source: str
+    source_key: str
+    dimension: str
+    dimension_key: str
+    predicate: Pred
+    payload: str | None
+
+    @property
+    def build_key(self) -> Hashable:
+        """Identity of this join's hash-table build.
+
+        Two joins share a build artifact exactly when dimension, key column,
+        payload column, and dimension predicate all coincide -- the key of
+        :class:`~repro.engine.cache.BuildArtifactCache`.
+        """
+        return (self.dimension, self.dimension_key, self.payload, self.predicate)
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """A normalized, engine-independent description of one query."""
+
+    query: SSBQuery
+    fact: str
+    predicate: Pred
+    joins: tuple[LogicalJoin, ...]
+    group_by: tuple[str, ...]
+    aggregate: AggregateSpec
+
+    @classmethod
+    def from_query(cls, query: SSBQuery) -> "LogicalPlan":
+        """Normalize a declarative spec (legacy filter tuples included)."""
+        joins = tuple(
+            LogicalJoin(
+                source=join.source if join.source is not None else query.fact,
+                source_key=join.fact_key,
+                dimension=join.dimension,
+                dimension_key=join.dimension_key,
+                predicate=join.predicate,
+                payload=join.payload,
+            )
+            for join in query.joins
+        )
+        return cls(
+            query=query,
+            fact=query.fact,
+            predicate=query.predicate,
+            joins=joins,
+            group_by=query.group_by,
+            aggregate=query.aggregate,
+        )
+
+    def join_depth(self, join: LogicalJoin) -> int:
+        """Hops between ``join``'s source and the fact table (0 = star edge).
+
+        Snowflake chains resolve through the other joins' dimensions; a
+        source that is neither the fact table nor a joined dimension (or a
+        cyclic chain) is a malformed plan and raises.
+        """
+        by_dimension = {j.dimension: j for j in self.joins}
+        depth = 0
+        source = join.source
+        while source != self.fact:
+            parent = by_dimension.get(source)
+            if parent is None or depth > len(self.joins):
+                raise ValueError(
+                    f"join with {join.dimension!r} hangs off {join.source!r}, which is "
+                    f"neither the fact table {self.fact!r} nor a joined dimension"
+                )
+            depth += 1
+            source = parent.source
+        return depth
+
+
+# ----------------------------------------------------------------------
+# Build artifacts
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BuildArtifact:
+    """The immutable product of one dimension hash-table build.
+
+    Carries the perfect-hash lookup arrays *and* every dimension-side
+    quantity the profile's :class:`~repro.engine.plan.JoinStage` needs, so a
+    probe against a cached artifact emits exactly the profile slice a fresh
+    build would.  Arrays are marked read-only: artifacts are shared across
+    queries in a batch, never copied.
+    """
+
+    dimension: str
+    dimension_rows: int
+    build_rows: int
+    hash_table_bytes: float
+    build_scan_bytes: float
+    lookup: np.ndarray
+    present: np.ndarray
+
+
+# ----------------------------------------------------------------------
+# Execution state threaded through the operators
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PipelineState:
+    """Mutable state one query execution threads through its operators."""
+
+    db: Database
+    fact: Table
+    query_name: str
+    profile: QueryProfile
+    build_cache: BuildArtifactCache | None
+    alive: np.ndarray
+    rows_alive: float
+    #: Filter columns already charged to the profile (each exactly once).
+    charged: set = field(default_factory=set)
+    #: Build artifacts by logical-join identity (``id()``), for the probes
+    #: to consume.  Keyed by identity, not by build key, because hand-built
+    #: predicates can hold unhashable constants (e.g. a list in an ``in``
+    #: filter) -- such queries must still run, just without sharing.
+    artifacts: dict = field(default_factory=dict)
+    #: Payload code arrays by column name, for the group-by.
+    group_columns: dict = field(default_factory=dict)
+    value: object = None
+
+
+# ----------------------------------------------------------------------
+# Physical operators
+# ----------------------------------------------------------------------
+
+
+class ScanFilter:
+    """Apply one top-level conjunct of the fact predicate to the scan.
+
+    Models the selection stage of the pipelined probe pass: the paper's
+    Section 4.2 selection variants (branching / predicated / SIMD selective
+    stores) and the fused predicate lanes of the Crystal kernel (Section
+    5.2).  Emits one filter :class:`~repro.engine.plan.ColumnAccess` per
+    newly-referenced column (a single scan feeds every comparison, so each
+    column's bytes are charged exactly once per query) and one
+    :class:`~repro.engine.plan.FilterStage` recording the term's row shrink
+    and branchiness.
+    """
+
+    def __init__(self, term: Pred) -> None:
+        self.term = term
+
+    def run(self, state: PipelineState) -> None:
+        profile = state.profile
+        for column in self.term.columns():
+            if column in state.charged:
+                continue
+            state.charged.add(column)
+            column_bytes = float(state.fact.column(column).nbytes)
+            profile.column_accesses.append(
+                ColumnAccess(
+                    column=column, column_bytes=column_bytes, rows_needed=state.rows_alive, role="filter"
+                )
+            )
+        rows_in = state.rows_alive
+        state.alive &= evaluate_pred(state.fact, self.term)
+        state.rows_alive = float(np.count_nonzero(state.alive))
+        profile.filter_stages.append(
+            FilterStage(
+                columns=self.term.columns(),
+                rows_in=rows_in,
+                rows_out=state.rows_alive,
+                leaf_count=predicate_leaf_count(self.term),
+                or_branches=predicate_or_branches(self.term),
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScanFilter({self.term})"
+
+
+class BuildLookup:
+    """Build (or fetch) one dimension's perfect-hash lookup.
+
+    Models the build pass of the invisible-join style star join: scan the
+    (filtered) dimension once and write a dense key -> payload array, the
+    paper's Section 5.3 hash-table estimate of ``8 bytes x |dimension|``
+    (one 4-byte key, one 4-byte payload per entry).  The product is an
+    immutable :class:`BuildArtifact`; with a
+    :class:`~repro.engine.cache.BuildArtifactCache` active, distinct builds
+    are constructed once per batch and shared.
+    """
+
+    def __init__(self, join: LogicalJoin) -> None:
+        self.join = join
+
+    @property
+    def key(self) -> Hashable:
+        return self.join.build_key
+
+    def build(self, db: Database) -> BuildArtifact:
+        """Scan the dimension and construct the lookup arrays."""
+        join = self.join
+        dimension = db.table(join.dimension)
+        dim_mask = evaluate_pred(dimension, join.predicate)
+        build_rows = int(np.count_nonzero(dim_mask))
+        lookup, present = build_dimension_lookup(dimension, join.dimension_key, dim_mask, join.payload)
+        lookup.setflags(write=False)
+        present.setflags(write=False)
+        build_scan_bytes = float(
+            dimension.column(join.dimension_key).nbytes
+            + sum(dimension.column(c).nbytes for c in join.predicate.columns())
+            + (dimension.column(join.payload).nbytes if join.payload else 0)
+        )
+        return BuildArtifact(
+            dimension=join.dimension,
+            dimension_rows=dimension.num_rows,
+            build_rows=build_rows,
+            hash_table_bytes=float(HASH_ENTRY_BYTES * dimension.num_rows),
+            build_scan_bytes=build_scan_bytes,
+            lookup=lookup,
+            present=present,
+        )
+
+    def run(self, state: PipelineState) -> None:
+        cache = state.build_cache
+        if cache is not None:
+            # fetch() falls through to an uncached build when the key is
+            # unhashable, so exotic hand-built predicates still execute.
+            artifact = cache.fetch(state.db, self.key, lambda: self.build(state.db))
+        else:
+            artifact = self.build(state.db)
+        state.artifacts[id(self.join)] = artifact
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BuildLookup({self.join.dimension!r} on {self.join.dimension_key!r})"
+
+
+class ProbeJoin:
+    """Probe one dimension lookup with the surviving fact rows.
+
+    Models the probe side of the chained star join: the dependent random
+    accesses the CPU cannot hide behind its streaming scan and the
+    L2-vs-global probe traffic of the fused GPU kernel (Section 5.3's
+    cost-model case study).  Emits the join-key
+    :class:`~repro.engine.plan.ColumnAccess` and the full
+    :class:`~repro.engine.plan.JoinStage` (build-side numbers come from the
+    consumed :class:`BuildArtifact`, so cached and fresh builds profile
+    identically).
+    """
+
+    def __init__(self, join: LogicalJoin) -> None:
+        self.join = join
+
+    def run(self, state: PipelineState) -> None:
+        join = self.join
+        artifact: BuildArtifact = state.artifacts[id(join)]
+        fact = state.fact
+        n = fact.num_rows
+
+        fact_keys = fact[join.source_key]
+        column_bytes = float(fact.column(join.source_key).nbytes)
+        state.profile.column_accesses.append(
+            ColumnAccess(
+                column=join.source_key, column_bytes=column_bytes, rows_needed=state.rows_alive, role="join_key"
+            )
+        )
+
+        payload_codes = np.zeros(n, dtype=np.int64)
+        valid_key = (fact_keys >= 0) & (fact_keys < artifact.lookup.shape[0])
+        candidate = state.alive & valid_key
+        candidate_keys = fact_keys[candidate]
+        payload_codes[candidate] = artifact.lookup[candidate_keys]
+        matched = candidate.copy()
+        matched[candidate] = artifact.present[candidate_keys]
+
+        probe_rows = state.rows_alive
+        rows_alive_after = float(np.count_nonzero(matched))
+        selectivity = rows_alive_after / probe_rows if probe_rows else 0.0
+
+        state.profile.joins.append(
+            JoinStage(
+                dimension=join.dimension,
+                fact_key=join.source_key,
+                dimension_rows=artifact.dimension_rows,
+                build_rows=artifact.build_rows,
+                hash_table_bytes=artifact.hash_table_bytes,
+                probe_rows=probe_rows,
+                selectivity=selectivity,
+                has_payload=join.payload is not None,
+                build_scan_bytes=artifact.build_scan_bytes,
+            )
+        )
+
+        state.alive = matched
+        state.rows_alive = rows_alive_after
+        if join.payload is not None:
+            if join.payload in state.group_columns:
+                raise ValueError(
+                    f"payload column {join.payload!r} is produced by more than one join in "
+                    f"query {state.query_name!r}; payload names must be unique"
+                )
+            state.group_columns[join.payload] = payload_codes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProbeJoin({self.join.dimension!r} via {self.join.source_key!r})"
+
+
+class Aggregate:
+    """Reduce the surviving rows to the (grouped) aggregate.
+
+    Models the final stage of the single fused pass: the hash group-by
+    aggregate the CPU keeps cache resident and the GPU updates with
+    per-block atomics spread over the group slots (Section 5.2).  Emits the
+    measure :class:`~repro.engine.plan.ColumnAccess` entries,
+    ``result_input_rows``, ``num_groups``, and ``output_row_bytes``.
+    """
+
+    def __init__(self, group_by: tuple[str, ...], aggregate: AggregateSpec) -> None:
+        self.group_by = group_by
+        self.aggregate = aggregate
+
+    def run(self, state: PipelineState) -> None:
+        profile = state.profile
+        profile.result_input_rows = state.rows_alive
+
+        agg = self.aggregate
+        validate_aggregate(agg)
+
+        measure_columns = []
+        for column in agg.columns:
+            column_bytes = float(state.fact.column(column).nbytes)
+            profile.column_accesses.append(
+                ColumnAccess(
+                    column=column, column_bytes=column_bytes, rows_needed=state.rows_alive, role="measure"
+                )
+            )
+            measure_columns.append(state.fact[column].astype(np.float64))
+        measure = combine_measures(agg, measure_columns)
+
+        selected = np.flatnonzero(state.alive)
+        if not self.group_by:
+            state.value = scalar_aggregate(agg.op, measure, selected)
+            profile.num_groups = 1
+            profile.output_row_bytes = 8.0
+            return
+
+        missing = [name for name in self.group_by if name not in state.group_columns]
+        if missing:
+            raise ValueError(
+                f"group-by column(s) {missing} are not payloads of any join in query "
+                f"{state.query_name!r}"
+            )
+        key_arrays = [state.group_columns[name][selected] for name in self.group_by]
+        if selected.size == 0:
+            value: dict = {}
+        else:
+            stacked = np.stack(key_arrays, axis=1)
+            unique_keys, inverse = np.unique(stacked, axis=0, return_inverse=True)
+            totals = grouped_aggregate(agg.op, measure, selected, inverse, unique_keys.shape[0])
+            value = {tuple(int(x) for x in key): float(total) for key, total in zip(unique_keys, totals)}
+        state.value = value
+        profile.num_groups = max(len(value), 1)
+        profile.output_row_bytes = float(8 + 4 * len(self.group_by))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Aggregate({self.aggregate.op!r}, group_by={self.group_by})"
+
+
+# ----------------------------------------------------------------------
+# Physical plan and lowering
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """The staged operator pipeline of one query.
+
+    Stages are explicit so a batched executor can pull every
+    :class:`BuildLookup` out, group the batch's builds, and run each
+    distinct one once before any probe runs.
+    """
+
+    logical: LogicalPlan
+    filters: tuple[ScanFilter, ...]
+    builds: tuple[BuildLookup, ...]
+    probes: tuple[ProbeJoin, ...]
+    aggregate: Aggregate
+
+    def operators(self) -> Iterable[object]:
+        """Every operator in execution order (builds before their probes)."""
+        yield from self.filters
+        for build, probe in zip(self.builds, self.probes):
+            yield build
+            yield probe
+        yield self.aggregate
+
+
+def lower(logical: LogicalPlan) -> PhysicalPlan:
+    """Lower a logical plan to physical operators.
+
+    Only single-hop (fact -> dimension) joins lower today.  Snowflake
+    chains are already *representable* -- :class:`LogicalJoin` carries the
+    probe-side source table -- so extending this function (build the chain
+    bottom-up, probe through the intermediate lookup) is all the multi-fact
+    ROADMAP item needs; callers and operators stay unchanged.
+    """
+    for join in logical.joins:
+        logical.join_depth(join)  # validate the chain is well-formed
+        if join.source != logical.fact:
+            raise NotImplementedError(
+                f"join with {join.dimension!r} probes from {join.source!r}: snowflake "
+                f"dimension->dimension chains are carried by the logical plan but not "
+                f"lowered to physical operators yet (ROADMAP: multi-fact / snowflake "
+                f"schemas)"
+            )
+    return PhysicalPlan(
+        logical=logical,
+        filters=tuple(ScanFilter(term) for term in conjuncts(logical.predicate)),
+        builds=tuple(BuildLookup(join) for join in logical.joins),
+        probes=tuple(ProbeJoin(join) for join in logical.joins),
+        aggregate=Aggregate(logical.group_by, logical.aggregate),
+    )
+
+
+def lower_query(query: SSBQuery) -> PhysicalPlan:
+    """Normalize and lower a declarative query spec in one step."""
+    return lower(LogicalPlan.from_query(query))
+
+
+def staged_builds(plans: Iterable[PhysicalPlan]) -> list[BuildLookup]:
+    """Topologically group a batch's build operators, one per distinct build.
+
+    Builds are deduplicated by build key and ordered by join depth (sources
+    before dependents), so a batched executor can construct every distinct
+    artifact up front; within a depth, first appearance in the batch wins.
+    Today every star edge has depth 0 and the grouping is a plain ordered
+    dedup -- snowflake chains will slot in without callers changing.
+
+    Builds whose key is unhashable (hand-built predicates holding e.g. a
+    list constant) cannot be cached or shared; they are skipped here and
+    simply run uncached inside their own query.
+    """
+    ordered: dict = {}
+    for plan in plans:
+        for build in plan.builds:
+            depth = plan.logical.join_depth(build.join)
+            try:
+                if build.key not in ordered:
+                    ordered[build.key] = (depth, build)
+            except TypeError:
+                continue
+    staged = sorted(ordered.values(), key=lambda pair: pair[0])
+    return [build for _, build in staged]
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+def execute_physical(
+    db: Database,
+    plan: PhysicalPlan,
+    build_cache: BuildArtifactCache | None = None,
+) -> tuple[object, QueryProfile]:
+    """Run a physical plan stage by stage, collecting the query profile.
+
+    Returns the same ``(value, profile)`` pair as the monolithic reference
+    executor -- byte-identically.  ``build_cache`` defaults to the
+    context-active :func:`~repro.engine.cache.active_build_cache` (installed
+    by ``Session.run_many(share_builds=True)``); pass one explicitly to
+    share builds without a context scope.
+    """
+    if build_cache is None:
+        build_cache = active_build_cache()
+    fact = db.table(plan.logical.fact)
+    n = fact.num_rows
+    state = PipelineState(
+        db=db,
+        fact=fact,
+        query_name=plan.logical.query.name,
+        profile=QueryProfile(query=plan.logical.query.name, fact_rows=n, fact_filter_selectivity=1.0),
+        build_cache=build_cache,
+        alive=np.ones(n, dtype=bool),
+        rows_alive=float(n),
+    )
+
+    for scan in plan.filters:
+        scan.run(state)
+    state.profile.fact_filter_selectivity = state.rows_alive / n if n else 0.0
+
+    for build, probe in zip(plan.builds, plan.probes):
+        build.run(state)
+        probe.run(state)
+
+    plan.aggregate.run(state)
+    return state.value, state.profile

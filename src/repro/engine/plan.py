@@ -8,6 +8,13 @@ sizes that the engines need to charge traffic according to their respective
 execution strategies (pipelined single pass on the CPU, fused tile kernel on
 the GPU, operator-at-a-time with materialization for the MonetDB-like
 baseline, and so on).
+
+Production execution runs through the staged physical pipeline of
+:mod:`repro.engine.physical` (discrete ScanFilter / BuildLookup / ProbeJoin
+/ Aggregate operators, whose builds can be shared across a query batch).
+:func:`execute_query_monolithic` is the seed single-pass executor, retained
+verbatim as the differential-testing reference: the pipeline must produce
+byte-identical answers and profiles (see ``tests/test_physical.py``).
 """
 
 from __future__ import annotations
@@ -17,8 +24,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine.cache import active_cache
-from repro.engine.expr import evaluate_pred
-from repro.ssb.queries import AGGREGATE_OPS, SSBQuery, conjuncts
+from repro.engine.expr import evaluate_pred, predicate_leaf_count, predicate_or_branches
+from repro.ssb.queries import AGGREGATE_OPS, AggregateSpec, SSBQuery, conjuncts
 from repro.storage import Database, Table
 
 #: Bytes per dimension hash-table entry: a 4-byte key and a 4-byte payload
@@ -46,6 +53,28 @@ class JoinStage:
 
 
 @dataclass
+class FilterStage:
+    """Profile of one top-level conjunct of the fact-table predicate.
+
+    Besides the row counts, the stage records the predicate's *shape*: a
+    fused band predicate (one ``between``, or any pure conjunction)
+    evaluates branch-free in a single pass, while each extra OR alternative
+    costs another predicated pass on SIMD CPUs, a data-dependent branch on
+    compiled scalar engines, and a whole extra materialized operator on
+    operator-at-a-time engines (Section 4.2's selection variants).
+    """
+
+    columns: tuple[str, ...]
+    #: Rows alive when the term is applied / surviving it.
+    rows_in: float
+    rows_out: float
+    #: Single-column comparisons in the term (1 for a fused band predicate).
+    leaf_count: int
+    #: Extra disjunctive alternatives (0 for any pure conjunction).
+    or_branches: int
+
+
+@dataclass
 class ColumnAccess:
     """Profile of one fact-column access inside the pipelined probe pass."""
 
@@ -65,6 +94,7 @@ class QueryProfile:
     fact_rows: int
     fact_filter_selectivity: float
     column_accesses: list[ColumnAccess] = field(default_factory=list)
+    filter_stages: list[FilterStage] = field(default_factory=list)
     joins: list[JoinStage] = field(default_factory=list)
     #: Rows surviving all filters and joins (the rows that reach the aggregate).
     result_input_rows: float = 0.0
@@ -85,8 +115,16 @@ class QueryProfile:
             total += min(access.column_bytes, per_row)
         return total
 
+    def filter_leaf_count(self) -> int:
+        """Single-column comparisons across every fact-filter term."""
+        return sum(stage.leaf_count for stage in self.filter_stages)
 
-def _build_lookup(dimension: Table, key_column: str, mask: np.ndarray, payload_column: str | None):
+    def filter_or_branches(self) -> int:
+        """Extra disjunctive alternatives across every fact-filter term (0 = fused)."""
+        return sum(stage.or_branches for stage in self.filter_stages)
+
+
+def build_dimension_lookup(dimension: Table, key_column: str, mask: np.ndarray, payload_column: str | None):
     """Build a dense key -> payload lookup for a (filtered) dimension.
 
     Dimension keys in SSB are dense integers, so a perfect-hash array is both
@@ -109,7 +147,7 @@ def _build_lookup(dimension: Table, key_column: str, mask: np.ndarray, payload_c
     return lookup, present
 
 
-def _scalar_aggregate(op: str, measure: np.ndarray | None, selected: np.ndarray) -> float | None:
+def scalar_aggregate(op: str, measure: np.ndarray | None, selected: np.ndarray) -> float | None:
     """Reduce the selected measure values to one scalar under ``op``.
 
     Over an empty selection, ``count`` is 0, ``sum`` is 0.0, and
@@ -131,7 +169,7 @@ def _scalar_aggregate(op: str, measure: np.ndarray | None, selected: np.ndarray)
     return float(values.mean())  # avg
 
 
-def _grouped_aggregate(
+def grouped_aggregate(
     op: str, measure: np.ndarray | None, selected: np.ndarray, inverse: np.ndarray, num_groups: int
 ) -> np.ndarray:
     """Per-group reduction of the selected measure values under ``op``.
@@ -153,12 +191,56 @@ def _grouped_aggregate(
     return out
 
 
+def validate_aggregate(aggregate: AggregateSpec) -> None:
+    """Reject malformed aggregate specs with the executor's error messages.
+
+    Shared by the monolithic reference executor and the physical pipeline's
+    Aggregate operator, so hand-built specs fail identically on both paths.
+    """
+    if aggregate.op not in AGGREGATE_OPS:
+        raise ValueError(f"unsupported aggregate op {aggregate.op!r}; expected one of {AGGREGATE_OPS}")
+    if not aggregate.columns and aggregate.op != "count":
+        raise ValueError(f"aggregate op {aggregate.op!r} needs at least one measure column")
+    if aggregate.columns and aggregate.op == "count":
+        raise ValueError(
+            "'count' counts surviving rows and takes no measure columns; "
+            "charging a measure scan would distort the cost model"
+        )
+    if aggregate.combine is not None and len(aggregate.columns) != 2:
+        raise ValueError(
+            f"measure combinator {aggregate.combine!r} needs exactly two columns, got {len(aggregate.columns)}"
+        )
+    if aggregate.combine is None and len(aggregate.columns) > 1:
+        raise ValueError(
+            f"{len(aggregate.columns)} measure columns need a combinator ('mul' or 'sub')"
+        )
+
+
+def combine_measures(aggregate: AggregateSpec, measure_columns: list[np.ndarray]) -> np.ndarray | None:
+    """The (validated) aggregate's measure expression over its input columns."""
+    if not measure_columns:
+        return None  # count: no measure expression needed
+    if aggregate.combine == "mul":
+        return measure_columns[0] * measure_columns[1]
+    if aggregate.combine == "sub":
+        return measure_columns[0] - measure_columns[1]
+    if aggregate.combine is None:
+        return measure_columns[0]
+    raise ValueError(f"unsupported measure combinator {aggregate.combine!r}")
+
+
 def execute_query(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
     """Execute ``query`` against ``db`` and collect its execution profile.
 
     Returns ``(value, profile)`` where ``value`` is the scalar aggregate for
     flight-1 queries or a dict mapping group-key tuples (dictionary codes /
     integers) to the aggregate for grouped queries.
+
+    Execution runs through the staged physical pipeline
+    (:mod:`repro.engine.physical`): the query is lowered to discrete
+    ScanFilter / BuildLookup / ProbeJoin / Aggregate operators whose
+    dimension builds are shared when a
+    :class:`~repro.engine.cache.BuildArtifactCache` is active.
 
     When a :class:`~repro.engine.cache.ExecutionCache` is active (a
     :class:`~repro.api.Session` runs the same query on several engines), the
@@ -172,6 +254,22 @@ def execute_query(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
 
 
 def _execute_query_uncached(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
+    # Deferred import: physical builds on this module's profile dataclasses
+    # and helpers, so a top-level import would be circular.
+    from repro.engine.physical import execute_physical, lower_query
+
+    return execute_physical(db, lower_query(query))
+
+
+def execute_query_monolithic(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:
+    """The seed single-pass executor, kept as the pipeline's reference.
+
+    Behaviourally identical to :func:`execute_query` (the physical pipeline
+    must produce byte-identical answers and profiles -- the differential
+    tests in ``tests/test_physical.py`` hold the two paths together), but
+    with no operator seams: no build sharing, no per-stage decomposition.
+    Never consults the caches.
+    """
     fact = db.table(query.fact)
     n = fact.num_rows
     profile = QueryProfile(query=query.name, fact_rows=n, fact_filter_selectivity=1.0)
@@ -195,8 +293,18 @@ def _execute_query_uncached(db: Database, query: SSBQuery) -> tuple[object, Quer
             profile.column_accesses.append(
                 ColumnAccess(column=column, column_bytes=column_bytes, rows_needed=rows_alive, role="filter")
             )
+        rows_in = rows_alive
         alive &= evaluate_pred(fact, term)
         rows_alive = float(np.count_nonzero(alive))
+        profile.filter_stages.append(
+            FilterStage(
+                columns=term.columns(),
+                rows_in=rows_in,
+                rows_out=rows_alive,
+                leaf_count=predicate_leaf_count(term),
+                or_branches=predicate_or_branches(term),
+            )
+        )
     profile.fact_filter_selectivity = rows_alive / n if n else 0.0
 
     # ------------------------------------------------------------------
@@ -207,7 +315,7 @@ def _execute_query_uncached(db: Database, query: SSBQuery) -> tuple[object, Quer
         dimension = db.table(join.dimension)
         dim_mask = evaluate_pred(dimension, join.predicate)
         build_rows = int(np.count_nonzero(dim_mask))
-        lookup, present = _build_lookup(dimension, join.dimension_key, dim_mask, join.payload)
+        lookup, present = build_dimension_lookup(dimension, join.dimension_key, dim_mask, join.payload)
 
         fact_keys = fact[join.fact_key]
         column_bytes = float(fact.column(join.fact_key).nbytes)
@@ -262,23 +370,7 @@ def _execute_query_uncached(db: Database, query: SSBQuery) -> tuple[object, Quer
     # Aggregate (and group-by)
     # ------------------------------------------------------------------
     agg = query.aggregate
-    if agg.op not in AGGREGATE_OPS:
-        raise ValueError(f"unsupported aggregate op {agg.op!r}; expected one of {AGGREGATE_OPS}")
-    if not agg.columns and agg.op != "count":
-        raise ValueError(f"aggregate op {agg.op!r} needs at least one measure column")
-    if agg.columns and agg.op == "count":
-        raise ValueError(
-            "'count' counts surviving rows and takes no measure columns; "
-            "charging a measure scan would distort the cost model"
-        )
-    if agg.combine is not None and len(agg.columns) != 2:
-        raise ValueError(
-            f"measure combinator {agg.combine!r} needs exactly two columns, got {len(agg.columns)}"
-        )
-    if agg.combine is None and len(agg.columns) > 1:
-        raise ValueError(
-            f"{len(agg.columns)} measure columns need a combinator ('mul' or 'sub')"
-        )
+    validate_aggregate(agg)
 
     measure_columns = []
     for column in agg.columns:
@@ -287,21 +379,11 @@ def _execute_query_uncached(db: Database, query: SSBQuery) -> tuple[object, Quer
             ColumnAccess(column=column, column_bytes=column_bytes, rows_needed=rows_alive, role="measure")
         )
         measure_columns.append(fact[column].astype(np.float64))
-
-    if not measure_columns:
-        measure = None  # count: no measure expression needed
-    elif agg.combine == "mul":
-        measure = measure_columns[0] * measure_columns[1]
-    elif agg.combine == "sub":
-        measure = measure_columns[0] - measure_columns[1]
-    elif agg.combine is None:
-        measure = measure_columns[0]
-    else:
-        raise ValueError(f"unsupported measure combinator {agg.combine!r}")
+    measure = combine_measures(agg, measure_columns)
 
     selected = np.flatnonzero(alive)
     if not query.has_group_by:
-        value: object = _scalar_aggregate(agg.op, measure, selected)
+        value: object = scalar_aggregate(agg.op, measure, selected)
         profile.num_groups = 1
         profile.output_row_bytes = 8.0
         return value, profile
@@ -317,7 +399,7 @@ def _execute_query_uncached(db: Database, query: SSBQuery) -> tuple[object, Quer
     else:
         stacked = np.stack(key_arrays, axis=1)
         unique_keys, inverse = np.unique(stacked, axis=0, return_inverse=True)
-        totals = _grouped_aggregate(agg.op, measure, selected, inverse, unique_keys.shape[0])
+        totals = grouped_aggregate(agg.op, measure, selected, inverse, unique_keys.shape[0])
         value = {tuple(int(x) for x in key): float(total) for key, total in zip(unique_keys, totals)}
     profile.num_groups = max(len(value), 1)
     profile.output_row_bytes = float(8 + 4 * len(query.group_by))

@@ -22,6 +22,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.engine.expr import evaluate_pred
+from repro.engine.physical import LogicalPlan, PhysicalPlan, lower
 from repro.engine.plan import HASH_ENTRY_BYTES
 from repro.hardware.presets import NVIDIA_V100
 from repro.hardware.specs import GPUSpec
@@ -159,3 +160,20 @@ class JoinOrderPlanner:
         joins = joins_by_dimension(query)
         reordered = tuple(joins[d] for d in best.join_order)
         return replace(query, joins=reordered)
+
+    # ------------------------------------------------------------------
+    def logical_plan(self, query: SSBQuery, *, optimize: bool = False) -> LogicalPlan:
+        """Normalize ``query`` into a logical plan, optionally cost-ordered.
+
+        With ``optimize=True`` the dimension joins are first rearranged into
+        the cheapest order (same constraint as :meth:`reorder`: each
+        dimension joined at most once); the plan then carries the chosen
+        order, so lowering and batched execution need no further planning.
+        """
+        if optimize:
+            query = self.reorder(query)
+        return LogicalPlan.from_query(query)
+
+    def physical_plan(self, query: SSBQuery, *, optimize: bool = False) -> PhysicalPlan:
+        """Lower ``query`` straight to the staged physical operator pipeline."""
+        return lower(self.logical_plan(query, optimize=optimize))

@@ -19,9 +19,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.expr import evaluate_pred, predicate_leaf_count, predicate_or_branches
 from repro.hardware.counters import TrafficCounter
 from repro.ops.base import OperatorResult
 from repro.sim.cpu import CPUSimulator
+from repro.ssb.queries import as_pred
+from repro.storage import Table
 
 #: Entries per L1-resident vector a core processes between cursor updates.
 VECTOR_SIZE = 1024
@@ -111,4 +114,94 @@ def cpu_select(
         device="cpu",
         variant=variant,
         stats={"rows": float(n), "selectivity": selectivity, "matched": float(matched.shape[0])},
+    )
+
+
+def cpu_select_pred(
+    table: Table,
+    pred,
+    variant: str = "simd_pred",
+    simulator: CPUSimulator | None = None,
+) -> OperatorResult:
+    """Run ``SELECT row ids FROM table WHERE <pred>`` for a predicate tree.
+
+    Pushdown of arbitrary boolean predicates (:class:`~repro.ssb.queries.Pred`
+    trees, bare specs, or legacy tuples) into the Section 4.2 selection scan.
+    The value is the selection vector (matching row ids, in row order) --
+    what the operator hands the rest of the pipeline.
+
+    Cost shape: each referenced column is read once no matter how many
+    leaves mention it (a single scan feeds every comparison), but the
+    predicate's *shape* changes the work per row:
+
+    * A fused band predicate -- any pure conjunction, e.g. ``between`` --
+      evaluates branch-free in one pass, exactly like :func:`cpu_select`.
+    * Each extra OR alternative costs one more predicated pass over the
+      L1-resident vector (``pred`` / ``simd_pred``) to merge its lane into
+      the selection mask, or one more data-dependent short-circuit branch
+      per row (``if``), which is why branchy disjunctions are charged more
+      than band predicates of equal selectivity.
+    """
+    if variant not in _VARIANTS:
+        raise ValueError(f"unknown CPU select variant {variant!r}; expected one of {_VARIANTS}")
+    pred = as_pred(pred)
+    simulator = simulator or CPUSimulator()
+
+    mask = evaluate_pred(table, pred)
+    matched = np.flatnonzero(mask)
+    n = table.num_rows
+    selectivity = float(mask.mean()) if n else 0.0
+    num_vectors = -(-n // VECTOR_SIZE) if n else 0
+
+    leaves = predicate_leaf_count(pred)
+    or_branches = predicate_or_branches(pred)
+    column_bytes = float(sum(table.column(c).nbytes for c in pred.columns()))
+
+    traffic = TrafficCounter(
+        sequential_read_bytes=column_bytes,
+        sequential_write_bytes=float(matched.nbytes),
+        # Second pass over each vector is served from L1 (charged as shared).
+        shared_bytes=column_bytes,
+        atomic_updates=float(num_vectors),
+        atomic_targets=8.0,
+        compute_ops=float(n) * 2.0 * max(leaves, 1),
+    )
+
+    use_simd = False
+    non_temporal = False
+    if variant == "if":
+        # Short-circuit evaluation: one data-dependent branch per leaf.
+        traffic.data_dependent_branches = float(n) * max(leaves, 1)
+        traffic.branch_miss_rate = _branch_miss_rate(selectivity)
+        if selectivity == 0.0:
+            traffic.sequential_write_bytes = 0.0
+    elif variant == "pred":
+        traffic.compute_ops = float(n) * (3.0 * max(leaves, 1) + or_branches)
+    else:  # simd_pred
+        use_simd = True
+        non_temporal = True
+        # Each extra OR alternative merges its lane with one more predicated
+        # pass over the L1-resident vector.
+        traffic.compute_ops = float(n) * (2.0 * max(leaves, 1) + or_branches)
+        traffic.shared_bytes += float(n) * 4.0 * or_branches
+
+    execution = simulator.run(
+        traffic,
+        use_simd=use_simd,
+        non_temporal_writes=non_temporal,
+        label=f"cpu-select-pred-{variant}",
+    )
+    return OperatorResult(
+        value=matched,
+        time=execution.time,
+        traffic=traffic,
+        device="cpu",
+        variant=variant,
+        stats={
+            "rows": float(n),
+            "selectivity": selectivity,
+            "matched": float(matched.shape[0]),
+            "leaves": float(leaves),
+            "or_branches": float(or_branches),
+        },
     )

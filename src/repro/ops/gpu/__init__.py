@@ -17,7 +17,7 @@ from repro.ops.gpu.project import gpu_project
 from repro.ops.gpu.radix_join import gpu_radix_join
 from repro.ops.gpu.radix_partition import gpu_radix_partition
 from repro.ops.gpu.radix_sort import gpu_radix_sort
-from repro.ops.gpu.select import gpu_select, gpu_select_independent_threads
+from repro.ops.gpu.select import gpu_select, gpu_select_independent_threads, gpu_select_pred
 
 __all__ = [
     "gpu_group_by_aggregate",
@@ -29,4 +29,5 @@ __all__ = [
     "gpu_radix_sort",
     "gpu_select",
     "gpu_select_independent_threads",
+    "gpu_select_pred",
 ]

@@ -1,0 +1,396 @@
+"""Differential tests for the staged physical pipeline.
+
+The physical pipeline (ScanFilter / BuildLookup / ProbeJoin / Aggregate) is
+held byte-identical to the seed monolithic executor: same answers, same
+profiles, stage by stage.  On top of that sit the shared-build artifact
+cache (``Session.run_many(share_builds=True)``), the snowflake-capable plan
+representation, and the context-local cache scopes.
+"""
+
+import pytest
+
+from repro.api import Q, QueryValidationError, Session, col
+from repro.engine.cache import (
+    BuildArtifactCache,
+    ExecutionCache,
+    activate,
+    activate_builds,
+    active_build_cache,
+    active_cache,
+)
+from repro.engine.physical import LogicalPlan, execute_physical, lower, lower_query, staged_builds
+from repro.engine.plan import execute_query, execute_query_monolithic
+from repro.engine.planner import JoinOrderPlanner
+from repro.ssb.queries import QUERIES, FilterSpec, JoinSpec, SSBQuery
+
+# ----------------------------------------------------------------------
+# Byte-identical parity with the seed executor
+# ----------------------------------------------------------------------
+
+
+class TestPipelineParity:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_canonical_queries_byte_identical(self, tiny_ssb, name):
+        """All 13 canonical SSB queries: same answer, same profile."""
+        value_mono, profile_mono = execute_query_monolithic(tiny_ssb, QUERIES[name])
+        value_phys, profile_phys = execute_query(tiny_ssb, QUERIES[name])
+        assert value_phys == value_mono
+        assert profile_phys == profile_mono
+        assert repr(profile_phys) == repr(profile_mono)
+
+    def test_or_tree_query_parity(self, tiny_ssb):
+        query = (
+            Q("lineorder")
+            .where(col("lo_discount").between(1, 3) | (col("lo_quantity") > 45))
+            .join("date", on=("lo_orderdate", "d_datekey"),
+                  filters=[("d_year", "eq", 1993)], payload="d_year")
+            .group_by("d_year")
+            .agg("sum", "lo_extendedprice", "lo_discount", combine="mul")
+            .build(tiny_ssb)
+        )
+        value_mono, profile_mono = execute_query_monolithic(tiny_ssb, query)
+        value_phys, profile_phys = execute_query(tiny_ssb, query)
+        assert value_phys == value_mono
+        assert profile_phys == profile_mono
+
+    def test_parity_under_reordered_joins(self, tiny_ssb):
+        reordered = JoinOrderPlanner(tiny_ssb).reorder(QUERIES["q2.1"])
+        value_mono, profile_mono = execute_query_monolithic(tiny_ssb, reordered)
+        value_phys, profile_phys = execute_query(tiny_ssb, reordered)
+        assert value_phys == value_mono
+        assert profile_phys == profile_mono
+
+    def test_unhashable_join_predicate_still_executes(self, tiny_ssb):
+        """Hand-built specs holding list constants run (uncached) on both paths."""
+        query = SSBQuery(
+            name="unhashable",
+            flight=0,
+            fact_filters=(FilterSpec("lo_quantity", "lt", 25),),
+            joins=(
+                JoinSpec("date", "lo_orderdate", "d_datekey",
+                         (FilterSpec("d_year", "in", [1997, 1998]),), payload="d_year"),
+            ),
+            group_by=("d_year",),
+            aggregate=QUERIES["q2.1"].aggregate,
+        )
+        value_mono, profile_mono = execute_query_monolithic(tiny_ssb, query)
+        value_phys, profile_phys = execute_query(tiny_ssb, query)
+        assert value_phys == value_mono
+        assert profile_phys == profile_mono
+        # And through a Session batch: it runs, it just never shares.
+        session = Session(tiny_ssb)
+        [result] = session.run_many([query], engine="cpu", share_builds=True)
+        assert result.value == value_mono
+        assert session.cache_info("builds").size == 0
+
+    def test_shared_builds_do_not_change_profiles(self, tiny_ssb):
+        """A probe against a cached artifact emits the same profile slice."""
+        cache = BuildArtifactCache(tiny_ssb)
+        plan = lower_query(QUERIES["q2.1"])
+        first = execute_physical(tiny_ssb, plan, build_cache=cache)
+        second = execute_physical(tiny_ssb, plan, build_cache=cache)
+        assert second[0] == first[0]
+        assert second[1] == first[1]
+        assert cache.hits > 0
+
+
+# ----------------------------------------------------------------------
+# Plan structure and lowering
+# ----------------------------------------------------------------------
+
+
+class TestLowering:
+    def test_stages_mirror_the_query(self):
+        plan = lower_query(QUERIES["q4.1"])
+        assert len(plan.filters) == 0  # q4.1 has no fact filters
+        assert len(plan.builds) == len(QUERIES["q4.1"].joins) == 4
+        assert len(plan.probes) == 4
+        operators = list(plan.operators())
+        assert operators[-1] is plan.aggregate
+
+    def test_one_scan_filter_per_conjunct(self):
+        plan = lower_query(QUERIES["q1.1"])
+        assert len(plan.filters) == 2  # discount band AND quantity bound
+
+    def test_build_key_identity(self):
+        plans = [lower_query(QUERIES[name]) for name in ("q2.1", "q2.2", "q2.3")]
+        # All three flight-2 queries share the unfiltered date build ...
+        date_keys = {
+            build.key for plan in plans for build in plan.builds
+            if build.join.dimension == "date"
+        }
+        assert len(date_keys) == 1
+        # ... but their differently-filtered part builds stay distinct.
+        part_keys = {
+            build.key for plan in plans for build in plan.builds
+            if build.join.dimension == "part"
+        }
+        assert len(part_keys) == 3
+
+    def test_staged_builds_dedupes_across_batch(self):
+        plans = [lower_query(query) for query in QUERIES.values()]
+        builds = staged_builds(plans)
+        keys = [build.key for build in builds]
+        assert len(keys) == len(set(keys))
+        assert len(keys) < sum(len(plan.builds) for plan in plans)
+
+    def test_snowflake_chain_is_represented_but_not_lowered(self):
+        """A dimension->dimension join survives normalization, fails lowering."""
+        query = SSBQuery(
+            name="snowflake",
+            flight=0,
+            fact_filters=(),
+            joins=(
+                JoinSpec("supplier", "lo_suppkey", "s_suppkey"),
+                JoinSpec("date", "s_suppkey", "d_datekey", source="supplier"),
+            ),
+            group_by=(),
+            aggregate=QUERIES["q1.1"].aggregate,
+        )
+        logical = LogicalPlan.from_query(query)
+        assert logical.joins[1].source == "supplier"
+        assert logical.join_depth(logical.joins[0]) == 0
+        assert logical.join_depth(logical.joins[1]) == 1
+        with pytest.raises(NotImplementedError, match="snowflake"):
+            lower(logical)
+
+    def test_unknown_join_source_rejected(self):
+        query = SSBQuery(
+            name="dangling",
+            flight=0,
+            fact_filters=(),
+            joins=(JoinSpec("date", "x_key", "d_datekey", source="nowhere"),),
+            group_by=(),
+            aggregate=QUERIES["q1.1"].aggregate,
+        )
+        logical = LogicalPlan.from_query(query)
+        with pytest.raises(ValueError, match="neither the fact table"):
+            logical.join_depth(logical.joins[0])
+
+    def test_builder_source_validation(self, tiny_ssb):
+        base = Q("lineorder", db=tiny_ssb).agg("count")
+        with pytest.raises(QueryValidationError, match="hangs off"):
+            base.join("date", on=("s_suppkey", "d_datekey"), source="supplier")
+        chained = (
+            base.join("supplier", on=("lo_suppkey", "s_suppkey"))
+            .join("date", on=("s_suppkey", "d_datekey"), source="supplier")
+        )
+        query = chained.build(tiny_ssb)
+        assert query.joins[1].source == "supplier"
+        with pytest.raises(NotImplementedError, match="snowflake"):
+            execute_query(tiny_ssb, query)
+
+
+# ----------------------------------------------------------------------
+# Shared builds under Session.run_many
+# ----------------------------------------------------------------------
+
+
+class TestSharedBuilds:
+    def test_each_distinct_build_constructed_exactly_once(self, tiny_ssb):
+        queries = [QUERIES[name] for name in sorted(QUERIES)]
+        session = Session(tiny_ssb)
+        batched = session.run_many(queries, engine="cpu", share_builds=True)
+
+        distinct = {b.key for q in queries for b in lower_query(q).builds}
+        total_joins = sum(len(q.joins) for q in queries)
+        info = session.cache_info("builds")
+        assert info.misses == len(distinct)  # one construction per distinct build
+        assert info.hits == total_joins      # every probe-side fetch shared
+        assert info.size == len(distinct)
+
+        serial = Session(tiny_ssb).run_many(queries, engine="cpu")
+        for batch_result, serial_result in zip(batched, serial):
+            assert batch_result.value == serial_result.value
+            assert batch_result.simulated_ms == serial_result.simulated_ms
+
+    def test_repeated_batches_keep_sharing(self, tiny_ssb):
+        session = Session(tiny_ssb, cache=False)  # isolate the build cache
+        queries = [QUERIES["q2.1"], QUERIES["q2.2"]]
+        session.run_many(queries, engine="cpu", share_builds=True)
+        misses_after_first = session.cache_info("builds").misses
+        session.run_many(queries, engine="cpu", share_builds=True)
+        assert session.cache_info("builds").misses == misses_after_first
+
+    def test_small_build_cache_grows_to_fit_the_batch(self, tiny_ssb):
+        """The exactly-once guarantee survives an undersized LRU."""
+        queries = [QUERIES[name] for name in sorted(QUERIES)]
+        session = Session(tiny_ssb, build_cache_size=1)
+        session.run_many(queries, engine="cpu", share_builds=True)
+        distinct = {b.key for q in queries for b in lower_query(q).builds}
+        info = session.cache_info("builds")
+        assert info.misses == len(distinct)
+        assert info.maxsize >= len(distinct)
+
+    def test_memoized_queries_skip_prebuild(self, tiny_ssb):
+        """Replayed queries never probe, so their builds are not constructed."""
+        session = Session(tiny_ssb)
+        session.run(QUERIES["q2.1"], engine="cpu")  # memoize the whole pass
+        session.run_many([QUERIES["q2.1"]], engine="cpu", share_builds=True)
+        assert session.cache_info("builds") == (0, 0, 0, 128)
+
+    def test_bad_engine_fails_before_building(self, tiny_ssb):
+        session = Session(tiny_ssb)
+        with pytest.raises(KeyError, match="unknown engine"):
+            session.run_many([QUERIES["q2.1"]], engine="gpx", share_builds=True)
+        assert session.cache_info("builds") == (0, 0, 0, 128)
+
+    def test_serial_run_many_untouched(self, tiny_ssb):
+        session = Session(tiny_ssb)
+        session.run_many([QUERIES["q2.1"]], engine="cpu")
+        assert session.cache_info("builds") == (0, 0, 0, 128)
+
+    def test_clear_cache_resets_build_counters(self, tiny_ssb):
+        session = Session(tiny_ssb)
+        session.run_many([QUERIES["q1.1"]], engine="cpu", share_builds=True)
+        assert session.cache_info("builds").size > 0
+        session.clear_cache()
+        assert session.cache_info("builds") == (0, 0, 0, 128)
+
+    def test_unknown_cache_name_rejected(self, tiny_ssb):
+        with pytest.raises(ValueError, match="unknown cache"):
+            Session(tiny_ssb).cache_info("bogus")
+
+    def test_artifacts_are_immutable(self, tiny_ssb):
+        cache = BuildArtifactCache(tiny_ssb)
+        plan = lower_query(QUERIES["q2.1"])
+        execute_physical(tiny_ssb, plan, build_cache=cache)
+        artifact = next(iter(cache._entries.values()))
+        with pytest.raises(ValueError):
+            artifact.lookup[0] = 99
+        with pytest.raises(ValueError):
+            artifact.present[0] = True
+
+
+class TestBuildArtifactCacheUnit:
+    def test_ignores_foreign_database(self, tiny_ssb, small_ssb):
+        cache = BuildArtifactCache(tiny_ssb)
+        build = lower_query(QUERIES["q1.1"]).builds[0]
+        cache.fetch(small_ssb, build.key, lambda: build.build(small_ssb))
+        assert cache.info() == (0, 0, 0, 128)
+
+    def test_lru_eviction(self, tiny_ssb):
+        cache = BuildArtifactCache(tiny_ssb, maxsize=1)
+        builds = [b for name in ("q2.1", "q3.1") for b in lower_query(QUERIES[name]).builds]
+        for build in builds:
+            cache.fetch(tiny_ssb, build.key, lambda: build.build(tiny_ssb))
+        assert len(cache) == 1
+
+    def test_tiny_maxsize_rejected(self, tiny_ssb):
+        with pytest.raises(ValueError, match="maxsize"):
+            BuildArtifactCache(tiny_ssb, maxsize=0)
+
+    def test_unhashable_key_falls_through(self, tiny_ssb):
+        cache = BuildArtifactCache(tiny_ssb)
+        sentinel = object()
+        assert cache.fetch(tiny_ssb, ["not", "hashable"], lambda: sentinel) is sentinel
+        assert cache.info() == (0, 0, 0, 128)
+
+
+# ----------------------------------------------------------------------
+# Context-local cache scopes (the ContextVar satellite)
+# ----------------------------------------------------------------------
+
+
+class TestContextScopes:
+    def test_nested_activation_restores_previous(self, tiny_ssb):
+        outer = ExecutionCache(tiny_ssb)
+        inner = ExecutionCache(tiny_ssb)
+        assert active_cache() is None
+        with activate(outer):
+            assert active_cache() is outer
+            with activate(inner):
+                assert active_cache() is inner
+            assert active_cache() is outer
+        assert active_cache() is None
+
+    def test_nested_build_scopes(self, tiny_ssb):
+        outer = BuildArtifactCache(tiny_ssb)
+        inner = BuildArtifactCache(tiny_ssb)
+        with activate_builds(outer):
+            with activate_builds(inner):
+                assert active_build_cache() is inner
+            assert active_build_cache() is outer
+        assert active_build_cache() is None
+
+    def test_threads_do_not_clobber_each_other(self, tiny_ssb):
+        import threading
+
+        observed = {}
+        ready = threading.Barrier(2)
+
+        def worker(name):
+            cache = ExecutionCache(tiny_ssb)
+            with activate(cache):
+                ready.wait(timeout=5)
+                observed[name] = active_cache() is cache
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert observed == {0: True, 1: True}
+
+
+# ----------------------------------------------------------------------
+# Filter-stage profile slices (the OR-pushdown satellite)
+# ----------------------------------------------------------------------
+
+
+class TestFilterStages:
+    def test_conjunctive_query_records_fused_stages(self, tiny_ssb):
+        _, profile = execute_query(tiny_ssb, QUERIES["q1.1"])
+        assert len(profile.filter_stages) == 2
+        assert profile.filter_or_branches() == 0
+        assert profile.filter_leaf_count() == 2
+        first, second = profile.filter_stages
+        assert first.rows_in == profile.fact_rows
+        assert second.rows_in == first.rows_out
+        assert second.rows_out / profile.fact_rows == pytest.approx(
+            profile.fact_filter_selectivity
+        )
+
+    def test_or_tree_records_branches(self, tiny_ssb):
+        query = (
+            Q("lineorder")
+            .where((col("lo_discount") == 1) | (col("lo_discount") == 2) | (col("lo_quantity") < 10))
+            .join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+            .group_by("d_year")
+            .agg("count")
+            .build(tiny_ssb)
+        )
+        _, profile = execute_query(tiny_ssb, query)
+        assert len(profile.filter_stages) == 1
+        stage = profile.filter_stages[0]
+        assert stage.leaf_count == 3
+        assert stage.or_branches == 2
+        assert stage.columns == ("lo_discount", "lo_quantity")
+
+    def test_branchy_or_costs_more_on_branch_sensitive_engines(self, tiny_ssb):
+        session = Session(tiny_ssb)
+
+        def query(pred):
+            return (
+                Q("lineorder").where(pred)
+                .join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+                .group_by("d_year")
+                .agg("sum", "lo_revenue")
+            )
+
+        band = query(col("lo_discount").between(1, 3))
+        branchy = query(
+            (col("lo_discount") == 1) | (col("lo_discount") == 2) | (col("lo_discount") == 3)
+        )
+        for engine in ("hyper", "monetdb", "omnisci"):
+            fused = session.run(band, engine=engine)
+            disjunctive = session.run(branchy, engine=engine)
+            assert disjunctive.value == fused.value
+            assert disjunctive.simulated_ms > fused.simulated_ms, engine
+        # The fused single-pass engines shrug: predicated lanes hide behind
+        # the streaming scan (the Section 3.3 asymmetry).
+        for engine in ("cpu", "gpu"):
+            fused = session.run(band, engine=engine)
+            disjunctive = session.run(branchy, engine=engine)
+            assert disjunctive.value == fused.value
+            assert disjunctive.simulated_ms <= fused.simulated_ms * 1.5, engine

@@ -1,0 +1,99 @@
+"""Tests for predicate-tree pushdown into the selection operators."""
+
+import numpy as np
+import pytest
+
+from repro.api import col
+from repro.engine.expr import evaluate_pred, predicate_leaf_count, predicate_or_branches
+from repro.ops.cpu import cpu_select_pred
+from repro.ops.gpu import gpu_select_pred
+from repro.ssb.queries import FilterSpec
+from repro.storage import Table
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(99)
+    return Table.from_arrays(
+        "t",
+        {
+            "x": rng.integers(0, 100, size=20_000).astype(np.int32),
+            "y": rng.integers(0, 50, size=20_000).astype(np.int32),
+        },
+    )
+
+
+BAND = col("x").between(10, 30)
+BRANCHY = (col("x") == 10) | (col("x") == 20) | (col("x") == 30)
+MIXED = ((col("x") < 10) | (col("y") > 40)) & (col("x") >= 2)
+
+
+class TestPredicateShape:
+    def test_counts(self):
+        assert predicate_leaf_count(BAND) == 1
+        assert predicate_or_branches(BAND) == 0
+        assert predicate_leaf_count(BRANCHY) == 3
+        assert predicate_or_branches(BRANCHY) == 2
+        assert predicate_leaf_count(MIXED) == 3
+        assert predicate_or_branches(MIXED) == 1
+        assert predicate_or_branches(~BRANCHY) == 2
+        # Legacy tuple conjunctions normalize too.
+        assert predicate_leaf_count((FilterSpec("x", "lt", 5), FilterSpec("y", "gt", 1))) == 2
+        assert predicate_or_branches(()) == 0
+
+
+class TestCPUSelectPred:
+    @pytest.mark.parametrize("pred", [BAND, BRANCHY, MIXED], ids=["band", "branchy", "mixed"])
+    @pytest.mark.parametrize("variant", ["if", "pred", "simd_pred"])
+    def test_matches_reference(self, table, pred, variant):
+        result = cpu_select_pred(table, pred, variant=variant)
+        expected = np.flatnonzero(evaluate_pred(table, pred))
+        assert np.array_equal(result.value, expected)
+        assert result.stats["matched"] == expected.shape[0]
+
+    def test_each_column_read_once(self, table):
+        result = cpu_select_pred(table, MIXED)
+        # x appears in two leaves, y in one: bytes charged are one scan each.
+        expected = float(table.column("x").nbytes + table.column("y").nbytes)
+        assert result.traffic.sequential_read_bytes == expected
+
+    def test_branching_variant_charges_or_terms(self, table):
+        # Same rows either way: a fused band vs its exploded disjunction.
+        band = cpu_select_pred(table, col("x").between(10, 12), variant="if")
+        branchy = cpu_select_pred(
+            table, (col("x") == 10) | (col("x") == 11) | (col("x") == 12), variant="if"
+        )
+        assert np.array_equal(band.value, branchy.value)
+        assert branchy.traffic.data_dependent_branches == 3 * band.traffic.data_dependent_branches
+        assert branchy.time.total_seconds > band.time.total_seconds
+
+    def test_predicated_variants_charge_extra_passes(self, table):
+        band = cpu_select_pred(table, BAND, variant="simd_pred")
+        branchy = cpu_select_pred(table, BRANCHY, variant="simd_pred")
+        assert branchy.traffic.compute_ops > band.traffic.compute_ops
+        assert branchy.traffic.shared_bytes > band.traffic.shared_bytes
+        # But never a branch penalty: predication has no data-dependent jumps.
+        assert branchy.traffic.data_dependent_branches == 0
+
+    def test_unknown_variant_rejected(self, table):
+        with pytest.raises(ValueError, match="variant"):
+            cpu_select_pred(table, BAND, variant="magic")
+
+
+class TestGPUSelectPred:
+    @pytest.mark.parametrize("pred", [BAND, BRANCHY, MIXED], ids=["band", "branchy", "mixed"])
+    def test_matches_reference(self, table, pred):
+        result = gpu_select_pred(table, pred)
+        expected = np.flatnonzero(evaluate_pred(table, pred))
+        assert np.array_equal(result.value, expected)
+
+    def test_no_branch_penalty_on_simt(self, table):
+        branchy = gpu_select_pred(table, BRANCHY)
+        assert branchy.traffic.data_dependent_branches == 0
+        assert branchy.stats["or_branches"] == 2.0
+
+    def test_or_adds_only_compute(self, table):
+        band = gpu_select_pred(table, BAND)
+        branchy = gpu_select_pred(table, BRANCHY)
+        assert branchy.traffic.compute_ops > band.traffic.compute_ops
+        assert branchy.traffic.sequential_read_bytes == band.traffic.sequential_read_bytes
