@@ -1,0 +1,213 @@
+"""Hot-path wall-clock benchmarks for the selection-vector data plane.
+
+Three head-to-head measurements, written to ``BENCH_pipeline.json``:
+
+1. **Masks vs selection vectors** -- the 13 canonical SSB queries executed
+   through the full-width boolean-mask reference executor
+   (``execute_query_monolithic``, the data plane the staged pipeline used
+   before this change) and through the late-materialization selection-vector
+   pipeline (``execute_query``).  Answers are asserted identical; only the
+   wall clock differs.
+2. **``np.unique(axis=0)`` vs packed-radix group keys** -- the grouped
+   aggregate's old row-tuple sort against ``factorize_group_keys`` on
+   SSB-shaped key columns (years x brands, and a 3-column city rollup).
+3. **Serial vs morsel-parallel batch** -- a 26-query batch through
+   ``Session.run_many``: plain serial, shared-build serial, and
+   ``workers=4`` (pool sized to the hardware) with the lock-protected
+   shared :class:`~repro.engine.cache.BuildArtifactCache`; asserts the
+   exactly-once build guarantee (one miss per distinct artifact).
+
+Run standalone (CI smoke uses the defaults)::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline_hotpath.py --scale-factor 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.api import Session
+from repro.engine.physical import lower_query
+from repro.engine.plan import execute_query, execute_query_monolithic, factorize_group_keys
+from repro.ssb.generator import generate_ssb
+from repro.ssb.queries import QUERIES, QUERY_ORDER
+
+DEFAULT_SCALE_FACTOR = 0.05
+DEFAULT_ENGINE = "cpu"
+DEFAULT_WORKERS = 4
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_selection_vectors(db, queries, repeats: int) -> dict:
+    """13-query batch: full-width mask data plane vs selection vectors."""
+    mask_results = [execute_query_monolithic(db, q) for q in queries]
+    sel_results = [execute_query(db, q) for q in queries]
+    for (mask_value, mask_profile), (sel_value, sel_profile), query in zip(
+        mask_results, sel_results, queries
+    ):
+        if mask_value != sel_value or mask_profile != sel_profile:
+            raise AssertionError(f"data planes diverged on {query.name}")
+
+    mask_s = _best_of(lambda: [execute_query_monolithic(db, q) for q in queries], repeats)
+    sel_s = _best_of(lambda: [execute_query(db, q) for q in queries], repeats)
+    return {
+        "queries": len(queries),
+        "mask_wall_s": mask_s,
+        "selection_vector_wall_s": sel_s,
+        "speedup": mask_s / sel_s if sel_s else float("inf"),
+    }
+
+
+def bench_packed_aggregation(scale_factor: float, repeats: int, seed: int) -> dict:
+    """Grouped-key factorization: row-tuple np.unique vs packed radix keys."""
+    rng = np.random.default_rng(seed)
+    rows = max(int(6_000_000 * scale_factor * 0.25), 20_000)
+    shapes = {
+        # q2.x-shaped: year x brand (7 x 1000 domain).
+        "year_brand": [rng.integers(1992, 1999, size=rows), rng.integers(0, 1000, size=rows)],
+        # q3.x-shaped: city x city x year.
+        "city_city_year": [
+            rng.integers(0, 250, size=rows),
+            rng.integers(0, 250, size=rows),
+            rng.integers(1992, 1999, size=rows),
+        ],
+    }
+    out = {"rows": rows, "cases": {}}
+    for name, key_arrays in shapes.items():
+        stacked = np.stack([a.astype(np.int64) for a in key_arrays], axis=1)
+        unique_s = _best_of(
+            lambda stacked=stacked: np.unique(stacked, axis=0, return_inverse=True), repeats
+        )
+        packed_s = _best_of(
+            lambda key_arrays=key_arrays: factorize_group_keys(key_arrays), repeats
+        )
+        ref_unique, ref_inverse = np.unique(stacked, axis=0, return_inverse=True)
+        unique, inverse = factorize_group_keys(key_arrays)
+        if not (
+            np.array_equal(unique, ref_unique)
+            and np.array_equal(np.asarray(inverse).ravel(), np.asarray(ref_inverse).ravel())
+        ):
+            raise AssertionError(f"packed factorization diverged on {name}")
+        out["cases"][name] = {
+            "groups": int(unique.shape[0]),
+            "np_unique_wall_s": unique_s,
+            "packed_wall_s": packed_s,
+            "speedup": unique_s / packed_s if packed_s else float("inf"),
+        }
+    return out
+
+
+def bench_batch_execution(db, queries, engine: str, workers: int, repeats: int) -> dict:
+    """26-query batch: serial vs shared builds vs morsel-parallel workers."""
+    batch = queries * 2
+
+    def timed(**kwargs) -> tuple[float, Session]:
+        best = float("inf")
+        session = None
+        for _ in range(repeats):
+            # Fresh session each repeat: the execution memo must not let
+            # later repeats replay the first one's answers.
+            session = Session(db, cache=False)
+            start = time.perf_counter()
+            session.run_many(batch, engine=engine, **kwargs)
+            best = min(best, time.perf_counter() - start)
+        return best, session
+
+    serial_s, _ = timed()
+    shared_s, _ = timed(share_builds=True)
+    threaded_s, threaded_session = timed(share_builds=True, workers=workers)
+
+    info = threaded_session.cache_info("builds")
+    distinct = len({b.key for q in batch for b in lower_query(q).builds})
+    if info.misses != distinct:
+        raise AssertionError(
+            f"exactly-once violated: {info.misses} build misses for {distinct} distinct artifacts"
+        )
+    return {
+        "queries": len(batch),
+        "workers_requested": workers,
+        "serial_wall_s": serial_s,
+        "shared_builds_wall_s": shared_s,
+        "workers_wall_s": threaded_s,
+        "speedup_shared_vs_serial": serial_s / shared_s if shared_s else float("inf"),
+        "speedup_workers_vs_serial": serial_s / threaded_s if threaded_s else float("inf"),
+        "distinct_builds": distinct,
+        "build_cache": {"hits": info.hits, "misses": info.misses, "size": info.size},
+    }
+
+
+def run_hotpath_benchmark(
+    scale_factor: float = DEFAULT_SCALE_FACTOR,
+    engine: str = DEFAULT_ENGINE,
+    workers: int = DEFAULT_WORKERS,
+    seed: int = 7,
+    repeats: int = 3,
+) -> dict:
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    db = generate_ssb(scale_factor=scale_factor, seed=seed)
+    queries = [QUERIES[name] for name in QUERY_ORDER]
+    return {
+        "scale_factor": scale_factor,
+        "engine": engine,
+        "repeats": repeats,
+        "selection_vectors": bench_selection_vectors(db, queries, repeats),
+        "aggregation": bench_packed_aggregation(scale_factor, repeats, seed),
+        "batch": bench_batch_execution(db, queries, engine, workers, repeats),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale-factor", type=float, default=DEFAULT_SCALE_FACTOR)
+    parser.add_argument("--engine", default=DEFAULT_ENGINE)
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default="BENCH_pipeline.json")
+    args = parser.parse_args()
+
+    report = run_hotpath_benchmark(
+        scale_factor=args.scale_factor,
+        engine=args.engine,
+        workers=args.workers,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+
+    sel = report["selection_vectors"]
+    batch = report["batch"]
+    print(f"wrote {args.output} (scale factor {args.scale_factor}, engine {args.engine})")
+    print(
+        f"  selection vectors : {sel['mask_wall_s'] * 1e3:8.1f}ms masks -> "
+        f"{sel['selection_vector_wall_s'] * 1e3:8.1f}ms  ({sel['speedup']:.2f}x)"
+    )
+    for name, case in report["aggregation"]["cases"].items():
+        print(
+            f"  group-by {name:<14}: {case['np_unique_wall_s'] * 1e3:8.1f}ms unique -> "
+            f"{case['packed_wall_s'] * 1e3:8.1f}ms packed ({case['speedup']:.2f}x)"
+        )
+    print(
+        f"  batch x{batch['queries']:<3}        : {batch['serial_wall_s'] * 1e3:8.1f}ms serial -> "
+        f"{batch['workers_wall_s'] * 1e3:8.1f}ms workers={batch['workers_requested']} "
+        f"({batch['speedup_workers_vs_serial']:.2f}x, "
+        f"{batch['distinct_builds']} builds constructed once)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -32,11 +32,19 @@ grouped, each distinct dimension lookup is constructed exactly once, and
 every query's probes consume the shared artifacts.
 :meth:`Session.cache_info('builds') <Session.cache_info>` reports the
 shared-build hit/miss counters.
+
+``run_many(..., workers=N)`` executes the batch morsel-parallel: each
+query is a morsel pulled by a thread pool (sized to the hardware), with
+the session's lock-protected caches shared across workers -- combined
+with ``share_builds=True``, racing builds are arbitrated exactly-once by
+the :class:`~repro.engine.cache.BuildArtifactCache`.
 """
 
 from __future__ import annotations
 
 import math
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -270,6 +278,8 @@ class Session:
         optimize: bool = False,
         cache: bool | None = None,
         share_builds: bool = False,
+        workers: int = 1,
+        oversubscribe: bool = False,
     ) -> list[ResultSet]:
         """Execute a batch of queries on one engine.
 
@@ -282,8 +292,30 @@ class Session:
         Answers and profiles are identical to the serial path -- only the
         repeated build work disappears.  ``cache_info("builds")`` reports
         the resulting hit/miss counters.
+
+        With ``workers=N`` (N > 1) the batch executes morsel-parallel: each
+        query is one morsel, a thread pool of workers pulls morsels as they
+        free up, and results come back in input order.  The workers share
+        the session's lock-protected caches; combined with
+        ``share_builds=True`` there is no serial prebuild phase -- the first
+        worker to need a dimension lookup constructs it (the
+        :class:`~repro.engine.cache.BuildArtifactCache` arbitrates in-flight
+        builds, so each distinct artifact is still constructed exactly once
+        no matter how the batch lands on the workers).
+
+        ``workers`` is a *maximum*: morsel-driven schedulers size their pool
+        to the hardware, so the pool is capped at ``os.cpu_count()`` --
+        oversubscribing physical cores with CPU-bound morsels only adds
+        scheduler churn.  Pass ``oversubscribe=True`` to force exactly
+        ``workers`` pool threads regardless (the concurrency tests do, to
+        hammer the shared caches with real races).
         """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         prepared = [self.prepare(query, optimize=optimize) for query in queries]
+        effective = workers if oversubscribe else min(workers, os.cpu_count() or 1)
+        if effective > 1:
+            return self._run_many_threaded(prepared, engine, cache, share_builds, effective)
         if not share_builds:
             return [self._execute(engine, query, cache) for query in prepared]
 
@@ -309,6 +341,38 @@ class Session:
             # Phase 2: per-query probe/aggregate stages; every BuildLookup
             # now resolves from the shared artifact cache.
             return [self._execute(engine, query, cache) for query in prepared]
+
+    def _run_many_threaded(
+        self,
+        prepared: list[SSBQuery],
+        engine: str,
+        cache: bool | None,
+        share_builds: bool,
+        workers: int,
+    ) -> list[ResultSet]:
+        """Morsel-parallel batch execution over a thread pool.
+
+        The engine instance is created up front (the per-session engine dict
+        is not guarded), and each worker task activates the shared build
+        cache itself -- pool threads do not inherit the submitting context's
+        ContextVar bindings.
+        """
+        self.engine(engine)  # fail fast and pre-populate the engine map
+        if share_builds:
+            # The exactly-once guarantee needs every distinct artifact to
+            # stay resident for the whole batch (same safeguard as the
+            # serial shared-build path): grow the LRU to fit.
+            builds = staged_builds(lower_query(query) for query in prepared)
+            self._build_cache.maxsize = max(self._build_cache.maxsize, len(builds))
+
+        def morsel(query: SSBQuery) -> ResultSet:
+            if share_builds:
+                with activate_builds(self._build_cache):
+                    return self._execute(engine, query, cache)
+            return self._execute(engine, query, cache)
+
+        with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-run-many") as pool:
+            return list(pool.map(morsel, prepared))
 
     def compare(
         self,

@@ -30,11 +30,19 @@ The active-cache slots are :class:`contextvars.ContextVar`, not module
 globals: nested :func:`activate` scopes restore the previous cache on exit
 via tokens, and concurrent batch executions (threads or asyncio tasks) each
 see their own binding instead of clobbering one another.
+
+Both caches are thread-safe: LRU mutation happens under an
+:class:`threading.RLock`, so one cache instance can back a morsel-parallel
+``Session.run_many(workers=N)`` batch.  The build cache goes further and
+arbitrates racing misses exactly-once (in-flight events), because a build
+artifact is expensive shared state; the execution cache lets racing workers
+duplicate a computation instead of serializing whole query executions.
 """
 
 from __future__ import annotations
 
 import copy
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -57,6 +65,14 @@ class ExecutionCache:
     frozen dataclasses, databases are not, so ``fetch`` falls through to an
     uncached execution whenever it is handed a different database (or an
     unhashable hand-built query).
+
+    Thread safety: every LRU mutation (lookup + recency bump, insert, evict,
+    counters) happens under an :class:`threading.RLock`, so concurrent
+    ``run_many(workers=N)`` batches share one cache without corrupting the
+    ``OrderedDict``.  The *computation* runs outside the lock -- two workers
+    racing on the same query may both execute it (the answers are identical;
+    one result wins the insert), which is the right trade for a memo whose
+    compute is a whole query execution.
     """
 
     def __init__(self, db: object, maxsize: int = 64) -> None:
@@ -67,6 +83,7 @@ class ExecutionCache:
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def fetch(self, db, query, compute: Callable):
@@ -74,18 +91,21 @@ class ExecutionCache:
         if db is not self.db:
             return compute(db, query)
         try:
-            cached = self._entries.get(query)
+            hash(query)
         except TypeError:  # a hand-built spec holding e.g. a list constant
             return compute(db, query)
-        if cached is not None:
-            self.hits += 1
-            self._entries.move_to_end(query)
-            return copy.deepcopy(cached)
-        self.misses += 1
+        with self._lock:
+            cached = self._entries.get(query)
+            if cached is not None:
+                self.hits += 1
+                self._entries.move_to_end(query)
+                return copy.deepcopy(cached)
+            self.misses += 1
         value, profile = compute(db, query)
-        self._entries[query] = (copy.deepcopy(value), copy.deepcopy(profile))
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[query] = (copy.deepcopy(value), copy.deepcopy(profile))
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
         return value, profile
 
     def contains(self, db, query) -> bool:
@@ -93,22 +113,27 @@ class ExecutionCache:
         if db is not self.db:
             return False
         try:
-            return query in self._entries
+            hash(query)
         except TypeError:  # unhashable hand-built spec
             return False
+        with self._lock:
+            return query in self._entries
 
     def info(self) -> CacheInfo:
         """Hit/miss counters and occupancy."""
-        return CacheInfo(self.hits, self.misses, len(self._entries), self.maxsize)
+        with self._lock:
+            return CacheInfo(self.hits, self.misses, len(self._entries), self.maxsize)
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ExecutionCache({self.info()})"
@@ -123,6 +148,15 @@ class BuildArtifactCache:
     The cache is bound to one database at construction (artifacts embed that
     database's arrays); :meth:`fetch` for a different database falls through
     to an uncached build, exactly like :class:`ExecutionCache`.
+
+    Thread safety: LRU mutation is guarded by an :class:`threading.RLock`,
+    and -- unlike :class:`ExecutionCache` -- misses are arbitrated
+    **exactly-once**: the first worker to miss a key registers an in-flight
+    event and builds outside the lock; every other worker racing on the same
+    key waits on the event and then takes the hit path.  A morsel-parallel
+    ``Session.run_many(workers=N, share_builds=True)`` therefore constructs
+    each distinct artifact once no matter how the batch lands on the
+    workers, and ``misses`` counts real constructions.
     """
 
     def __init__(self, db: object, maxsize: int = 128) -> None:
@@ -133,6 +167,8 @@ class BuildArtifactCache:
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
+        self._inflight: dict = {}
 
     # ------------------------------------------------------------------
     def fetch(self, db, key: Hashable, build: Callable[[], object]):
@@ -145,32 +181,59 @@ class BuildArtifactCache:
         if db is not self.db:
             return build()
         try:
-            cached = self._entries.get(key)
+            hash(key)
         except TypeError:  # unhashable hand-built predicate
             return build()
-        if cached is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return cached
-        self.misses += 1
-        artifact = build()
-        self._entries[key] = artifact
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-        return artifact
+        while True:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    self._entries.move_to_end(key)
+                    return cached
+                pending = self._inflight.get(key)
+                if pending is None:
+                    self._inflight[key] = pending = threading.Event()
+                    self.misses += 1
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                # Another worker is constructing this artifact; wait and
+                # re-check (the entry may also have been evicted by the time
+                # we wake, in which case we become the new owner).
+                pending.wait()
+                continue
+            try:
+                artifact = build()
+            except BaseException:
+                with self._lock:
+                    del self._inflight[key]
+                    pending.set()  # waiters retry; one becomes the new owner
+                raise
+            with self._lock:
+                self._entries[key] = artifact
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                del self._inflight[key]
+                pending.set()
+            return artifact
 
     def info(self) -> CacheInfo:
         """Hit/miss counters and occupancy."""
-        return CacheInfo(self.hits, self.misses, len(self._entries), self.maxsize)
+        with self._lock:
+            return CacheInfo(self.hits, self.misses, len(self._entries), self.maxsize)
 
     def clear(self) -> None:
         """Drop every artifact and reset the counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BuildArtifactCache({self.info()})"

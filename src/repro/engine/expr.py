@@ -33,24 +33,8 @@ def resolve_filter_value(table: Table, spec: FilterSpec):
     return encoder.encode_value(spec.value)
 
 
-def evaluate_filter(table: Table, spec: FilterSpec) -> np.ndarray:
-    """Evaluate one filter against a table, returning a boolean mask."""
-    values = table[spec.column]
-    constant = resolve_filter_value(table, spec)
-    if not spec.encoded and np.issubdtype(values.dtype, np.number):
-        operands = (
-            tuple(constant)
-            if isinstance(constant, (tuple, list, set, frozenset, np.ndarray))
-            else (constant,)
-        )
-        if any(isinstance(v, str) for v in operands):
-            # NumPy would resolve str-vs-numeric comparisons to a scalar False,
-            # silently selecting zero rows instead of failing.
-            raise TypeError(
-                f"filter on {spec.column!r} compares string constant(s) against a numeric "
-                f"column; mark the filter encoded=True or build the query against the "
-                f"database so constants are rewritten to dictionary codes"
-            )
+def compare_values(values: np.ndarray, spec: FilterSpec, constant) -> np.ndarray:
+    """Apply one filter's comparison to an array of (possibly gathered) values."""
     op = spec.op
     if op == "eq":
         return values == constant
@@ -70,6 +54,31 @@ def evaluate_filter(table: Table, spec: FilterSpec) -> np.ndarray:
     if op == "in":
         return np.isin(values, np.asarray(constant))
     raise ValueError(f"unsupported filter operator {op!r}")
+
+
+def _check_filter_types(values: np.ndarray, spec: FilterSpec, constant) -> None:
+    if not spec.encoded and np.issubdtype(values.dtype, np.number):
+        operands = (
+            tuple(constant)
+            if isinstance(constant, (tuple, list, set, frozenset, np.ndarray))
+            else (constant,)
+        )
+        if any(isinstance(v, str) for v in operands):
+            # NumPy would resolve str-vs-numeric comparisons to a scalar False,
+            # silently selecting zero rows instead of failing.
+            raise TypeError(
+                f"filter on {spec.column!r} compares string constant(s) against a numeric "
+                f"column; mark the filter encoded=True or build the query against the "
+                f"database so constants are rewritten to dictionary codes"
+            )
+
+
+def evaluate_filter(table: Table, spec: FilterSpec) -> np.ndarray:
+    """Evaluate one filter against a table, returning a boolean mask."""
+    values = table[spec.column]
+    constant = resolve_filter_value(table, spec)
+    _check_filter_types(values, spec, constant)
+    return compare_values(values, spec, constant)
 
 
 def evaluate_pred(table: Table, pred) -> np.ndarray:
@@ -97,6 +106,50 @@ def evaluate_pred(table: Table, pred) -> np.ndarray:
     if isinstance(pred, Not):
         return ~evaluate_pred(table, pred.child)
     raise TypeError(f"unsupported predicate node {type(pred).__name__}")
+
+
+def evaluate_pred_at(table: Table, pred, sel: np.ndarray) -> np.ndarray:
+    """Evaluate a predicate tree only at the rows named by ``sel``.
+
+    The late-materialization counterpart of :func:`evaluate_pred`: instead
+    of producing a full-width mask, each referenced column is gathered once
+    at selection-vector width (``table[column][sel]``) and every comparison
+    runs over the gathered values.  Returns a boolean array of ``sel.size``
+    -- ``sel[evaluate_pred_at(table, pred, sel)]`` is the refined selection
+    vector.  When the surviving fraction is small this touches a tiny slice
+    of each column instead of re-scanning it, which is the whole point of
+    carrying selection vectors between operators.
+    """
+    gathered: dict[str, np.ndarray] = {}
+
+    def gather(column: str) -> np.ndarray:
+        values = gathered.get(column)
+        if values is None:
+            values = gathered[column] = table[column][sel]
+        return values
+
+    def walk(node) -> np.ndarray:
+        if isinstance(node, Leaf):
+            spec = node.spec
+            constant = resolve_filter_value(table, spec)
+            values = gather(spec.column)
+            _check_filter_types(values, spec, constant)
+            return compare_values(values, spec, constant)
+        if isinstance(node, And):
+            keep = np.ones(sel.shape[0], dtype=bool)
+            for child in node.children:
+                keep &= walk(child)
+            return keep
+        if isinstance(node, Or):
+            keep = np.zeros(sel.shape[0], dtype=bool)
+            for child in node.children:
+                keep |= walk(child)
+            return keep
+        if isinstance(node, Not):
+            return ~walk(node.child)
+        raise TypeError(f"unsupported predicate node {type(node).__name__}")
+
+    return walk(as_pred(pred))
 
 
 def evaluate_filters(table: Table, specs) -> np.ndarray:

@@ -19,6 +19,18 @@ all six engines cost identical profiles to the seed monolithic executor
 (:func:`~repro.engine.plan.execute_query_monolithic`) -- the differential
 tests in ``tests/test_physical.py`` hold the two paths byte-identical.
 
+The data plane is **late-materialization selection vectors**: the first
+operator to touch the fact table compacts the survivors once
+(``np.flatnonzero``), and every downstream operator -- later filter
+conjuncts, probes, payload gathers, the measure expression, the group-by --
+works at selection-vector width.  Payload codes ride along in the narrow
+dtype of their dimension's lookup, and the grouped aggregate factorizes
+packed-radix int64 keys (:func:`~repro.engine.plan.factorize_group_keys`)
+instead of sorting row tuples.  Only the *mechanics* changed: answers and
+profiles stay byte-identical to the full-width mask reference, so the cost
+models are untouched (``benchmarks/bench_pipeline_hotpath.py`` measures the
+wall-clock gap between the two data planes).
+
 The decomposition buys two things the monolithic pass could not offer:
 
 * **Shared build artifacts.**  :class:`BuildLookup` products are immutable
@@ -41,7 +53,12 @@ from typing import Hashable, Iterable
 import numpy as np
 
 from repro.engine.cache import BuildArtifactCache, active_build_cache
-from repro.engine.expr import evaluate_pred, predicate_leaf_count, predicate_or_branches
+from repro.engine.expr import (
+    evaluate_pred,
+    evaluate_pred_at,
+    predicate_leaf_count,
+    predicate_or_branches,
+)
 from repro.engine.plan import (
     HASH_ENTRY_BYTES,
     ColumnAccess,
@@ -50,8 +67,9 @@ from repro.engine.plan import (
     QueryProfile,
     build_dimension_lookup,
     combine_measures,
-    grouped_aggregate,
-    scalar_aggregate,
+    factorize_group_keys,
+    grouped_aggregate_values,
+    scalar_aggregate_values,
     validate_aggregate,
 )
 from repro.ssb.queries import AggregateSpec, Pred, SSBQuery, conjuncts
@@ -178,15 +196,26 @@ class BuildArtifact:
 
 @dataclass
 class PipelineState:
-    """Mutable state one query execution threads through its operators."""
+    """Mutable state one query execution threads through its operators.
+
+    The data plane is a **selection vector**, not a boolean mask: ``sel``
+    holds the row ids (ascending) of the fact rows still alive, or ``None``
+    before any operator has touched the data ("all rows alive", so the first
+    filter or probe runs full-width and compacts once).  Every payload code
+    array in ``group_columns`` is carried at selection-vector width and
+    compacted in lockstep whenever an operator shrinks ``sel`` -- late
+    materialization: after the scan cuts the batch to its few surviving rows,
+    no downstream operator touches full-fact-width arrays again.
+    """
 
     db: Database
     fact: Table
     query_name: str
     profile: QueryProfile
     build_cache: BuildArtifactCache | None
-    alive: np.ndarray
     rows_alive: float
+    #: Selection vector of surviving fact row ids (``None`` = all alive).
+    sel: np.ndarray | None = None
     #: Filter columns already charged to the profile (each exactly once).
     charged: set = field(default_factory=set)
     #: Build artifacts by logical-join identity (``id()``), for the probes
@@ -194,9 +223,22 @@ class PipelineState:
     #: predicates can hold unhashable constants (e.g. a list in an ``in``
     #: filter) -- such queries must still run, just without sharing.
     artifacts: dict = field(default_factory=dict)
-    #: Payload code arrays by column name, for the group-by.
+    #: Payload code arrays by column name, at selection-vector width.
     group_columns: dict = field(default_factory=dict)
     value: object = None
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Shrink the selection vector (and every carried payload) by ``keep``.
+
+        ``keep`` is a boolean array at current selection-vector width.  The
+        payload arrays stay aligned with ``sel`` by construction, so a probe
+        that drops rows compacts them all in one pass over the (small)
+        survivor set instead of re-gathering from full-width arrays.
+        """
+        self.sel = self.sel[keep]
+        for name, codes in self.group_columns.items():
+            self.group_columns[name] = codes[keep]
+        self.rows_alive = float(self.sel.size)
 
 
 # ----------------------------------------------------------------------
@@ -215,6 +257,12 @@ class ScanFilter:
     column's bytes are charged exactly once per query) and one
     :class:`~repro.engine.plan.FilterStage` recording the term's row shrink
     and branchiness.
+
+    The first conjunct scans full-width and compacts the survivors into the
+    selection vector once (``np.flatnonzero``); every later conjunct
+    evaluates only at the surviving row ids
+    (:func:`~repro.engine.expr.evaluate_pred_at`), so a selective leading
+    term makes the rest of the predicate nearly free.
     """
 
     def __init__(self, term: Pred) -> None:
@@ -233,8 +281,11 @@ class ScanFilter:
                 )
             )
         rows_in = state.rows_alive
-        state.alive &= evaluate_pred(state.fact, self.term)
-        state.rows_alive = float(np.count_nonzero(state.alive))
+        if state.sel is None:
+            state.sel = np.flatnonzero(evaluate_pred(state.fact, self.term))
+            state.rows_alive = float(state.sel.size)
+        else:
+            state.compact(evaluate_pred_at(state.fact, self.term, state.sel))
         profile.filter_stages.append(
             FilterStage(
                 columns=self.term.columns(),
@@ -326,7 +377,6 @@ class ProbeJoin:
         join = self.join
         artifact: BuildArtifact = state.artifacts[id(join)]
         fact = state.fact
-        n = fact.num_rows
 
         fact_keys = fact[join.source_key]
         column_bytes = float(fact.column(join.source_key).nbytes)
@@ -336,17 +386,24 @@ class ProbeJoin:
             )
         )
 
-        payload_codes = np.zeros(n, dtype=np.int64)
-        valid_key = (fact_keys >= 0) & (fact_keys < artifact.lookup.shape[0])
-        candidate = state.alive & valid_key
-        candidate_keys = fact_keys[candidate]
-        payload_codes[candidate] = artifact.lookup[candidate_keys]
-        matched = candidate.copy()
-        matched[candidate] = artifact.present[candidate_keys]
+        # Gather only the surviving rows' keys -- the late-materialization
+        # probe never allocates or masks at fact width once a selection
+        # vector exists (the first probe of an unfiltered query is the one
+        # full-width pass, and it compacts immediately).
+        keys = fact_keys if state.sel is None else fact_keys[state.sel]
+        valid = (keys >= 0) & (keys < artifact.lookup.shape[0])
+        hit = valid.copy()
+        hit[valid] = artifact.present[keys[valid]]
 
         probe_rows = state.rows_alive
-        rows_alive_after = float(np.count_nonzero(matched))
-        selectivity = rows_alive_after / probe_rows if probe_rows else 0.0
+        if state.sel is None:
+            state.sel = np.flatnonzero(hit)
+            state.rows_alive = float(state.sel.size)
+            surviving_keys = keys[state.sel]
+        else:
+            surviving_keys = keys[hit]
+            state.compact(hit)
+        selectivity = state.rows_alive / probe_rows if probe_rows else 0.0
 
         state.profile.joins.append(
             JoinStage(
@@ -362,15 +419,10 @@ class ProbeJoin:
             )
         )
 
-        state.alive = matched
-        state.rows_alive = rows_alive_after
         if join.payload is not None:
-            if join.payload in state.group_columns:
-                raise ValueError(
-                    f"payload column {join.payload!r} is produced by more than one join in "
-                    f"query {state.query_name!r}; payload names must be unique"
-                )
-            state.group_columns[join.payload] = payload_codes
+            # Payload codes materialize at selection-vector width, in the
+            # lookup's narrow dtype (lower() guarantees the name is unique).
+            state.group_columns[join.payload] = artifact.lookup[surviving_keys]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProbeJoin({self.join.dimension!r} via {self.join.source_key!r})"
@@ -397,6 +449,8 @@ class Aggregate:
         agg = self.aggregate
         validate_aggregate(agg)
 
+        sel = state.sel
+        count = int(sel.size) if sel is not None else state.fact.num_rows
         measure_columns = []
         for column in agg.columns:
             column_bytes = float(state.fact.column(column).nbytes)
@@ -405,12 +459,15 @@ class Aggregate:
                     column=column, column_bytes=column_bytes, rows_needed=state.rows_alive, role="measure"
                 )
             )
-            measure_columns.append(state.fact[column].astype(np.float64))
+            # Gather survivors first, then widen: the float64 measure
+            # expression is evaluated at selection-vector width, never at
+            # fact width.
+            values = state.fact[column] if sel is None else state.fact[column][sel]
+            measure_columns.append(values.astype(np.float64))
         measure = combine_measures(agg, measure_columns)
 
-        selected = np.flatnonzero(state.alive)
         if not self.group_by:
-            state.value = scalar_aggregate(agg.op, measure, selected)
+            state.value = scalar_aggregate_values(agg.op, measure, count)
             profile.num_groups = 1
             profile.output_row_bytes = 8.0
             return
@@ -421,13 +478,16 @@ class Aggregate:
                 f"group-by column(s) {missing} are not payloads of any join in query "
                 f"{state.query_name!r}"
             )
-        key_arrays = [state.group_columns[name][selected] for name in self.group_by]
-        if selected.size == 0:
+        if count == 0:
             value: dict = {}
         else:
-            stacked = np.stack(key_arrays, axis=1)
-            unique_keys, inverse = np.unique(stacked, axis=0, return_inverse=True)
-            totals = grouped_aggregate(agg.op, measure, selected, inverse, unique_keys.shape[0])
+            # Packed-radix group keys: the carried payload codes (already at
+            # selection-vector width) mix into one int64 key per row and
+            # factorize with bincount-style passes -- no row-wise
+            # ``np.unique(..., axis=0)`` structured sort.
+            key_arrays = [state.group_columns[name] for name in self.group_by]
+            unique_keys, inverse = factorize_group_keys(key_arrays)
+            totals = grouped_aggregate_values(agg.op, measure, inverse, unique_keys.shape[0])
             value = {tuple(int(x) for x in key): float(total) for key, total in zip(unique_keys, totals)}
         state.value = value
         profile.num_groups = max(len(value), 1)
@@ -475,6 +535,7 @@ def lower(logical: LogicalPlan) -> PhysicalPlan:
     bottom-up, probe through the intermediate lookup) is all the multi-fact
     ROADMAP item needs; callers and operators stay unchanged.
     """
+    payloads: set[str] = set()
     for join in logical.joins:
         logical.join_depth(join)  # validate the chain is well-formed
         if join.source != logical.fact:
@@ -484,6 +545,16 @@ def lower(logical: LogicalPlan) -> PhysicalPlan:
                 f"lowered to physical operators yet (ROADMAP: multi-fact / snowflake "
                 f"schemas)"
             )
+        # Validate payload-name uniqueness at plan time: the old in-flight
+        # check fired only after earlier probes had already mutated the
+        # pipeline state, so a bad plan did real work before failing.
+        if join.payload is not None:
+            if join.payload in payloads:
+                raise ValueError(
+                    f"payload column {join.payload!r} is produced by more than one join in "
+                    f"query {logical.query.name!r}; payload names must be unique"
+                )
+            payloads.add(join.payload)
     return PhysicalPlan(
         logical=logical,
         filters=tuple(ScanFilter(term) for term in conjuncts(logical.predicate)),
@@ -552,7 +623,6 @@ def execute_physical(
         query_name=plan.logical.query.name,
         profile=QueryProfile(query=plan.logical.query.name, fact_rows=n, fact_filter_selectivity=1.0),
         build_cache=build_cache,
-        alive=np.ones(n, dtype=bool),
         rows_alive=float(n),
     )
 

@@ -124,6 +124,15 @@ class QueryProfile:
         return sum(stage.or_branches for stage in self.filter_stages)
 
 
+def narrowest_signed_dtype(low: int, high: int) -> np.dtype:
+    """The narrowest signed integer dtype whose range covers ``[low, high]``."""
+    for dtype in (np.int8, np.int16, np.int32, np.int64):
+        info = np.iinfo(dtype)
+        if info.min <= low and high <= info.max:
+            return np.dtype(dtype)
+    raise OverflowError(f"payload range [{low}, {high}] exceeds int64")
+
+
 def build_dimension_lookup(dimension: Table, key_column: str, mask: np.ndarray, payload_column: str | None):
     """Build a dense key -> payload lookup for a (filtered) dimension.
 
@@ -132,17 +141,26 @@ def build_dimension_lookup(dimension: Table, key_column: str, mask: np.ndarray, 
     hash-table size estimate assumes.  Returns ``(lookup, present)``: the
     payload array and a parallel membership mask, so payload values carry no
     in-band "no match" sentinel and may take any value (including negatives).
+
+    The payload array is stored at the narrowest signed dtype that covers the
+    selected payload values (the paper stores everything as 4-byte values;
+    most SSB payloads -- years, dictionary codes of small domains -- fit in
+    one or two bytes), so probes gather and carry small codes, not int64.
     """
     keys = dimension[key_column]
     max_key = int(keys.max()) if keys.shape[0] else 0
-    lookup = np.zeros(max_key + 1, dtype=np.int64)
-    present = np.zeros(max_key + 1, dtype=bool)
-    if payload_column is not None:
-        payload = dimension[payload_column].astype(np.int64)
-    else:
-        payload = np.zeros(keys.shape[0], dtype=np.int64)
     selected = np.flatnonzero(mask)
-    lookup[keys[selected]] = payload[selected]
+    if payload_column is not None and selected.size:
+        payload = dimension[payload_column]
+        chosen = payload[selected]
+        dtype = narrowest_signed_dtype(min(int(chosen.min()), 0), int(chosen.max()))
+    else:
+        payload = np.zeros(keys.shape[0], dtype=np.int8)
+        chosen = payload[selected]
+        dtype = np.dtype(np.int8)
+    lookup = np.zeros(max_key + 1, dtype=dtype)
+    present = np.zeros(max_key + 1, dtype=bool)
+    lookup[keys[selected]] = chosen.astype(dtype)
     present[keys[selected]] = True
     return lookup, present
 
@@ -155,11 +173,21 @@ def scalar_aggregate(op: str, measure: np.ndarray | None, selected: np.ndarray) 
     take a minimum of, and fabricating 0.0 would be indistinguishable from
     a measured value.
     """
+    values = None if measure is None else measure[selected]
+    return scalar_aggregate_values(op, values, int(selected.size))
+
+
+def scalar_aggregate_values(op: str, values: np.ndarray | None, count: int) -> float | None:
+    """:func:`scalar_aggregate` over already-gathered measure values.
+
+    The selection-vector pipeline gathers measures at selection-vector width
+    before reducing; ``count`` is the number of surviving rows (``values``
+    is ``None`` for ``count``, which needs no measure expression).
+    """
     if op == "count":
-        return float(selected.size)
-    if selected.size == 0:
+        return float(count)
+    if count == 0:
         return 0.0 if op == "sum" else None
-    values = measure[selected]
     if op == "sum":
         return float(values.sum())
     if op == "min":
@@ -177,9 +205,16 @@ def grouped_aggregate(
     Every group has at least one member (groups come from ``np.unique`` over
     the selected rows), so the count divisor for ``avg`` is never zero.
     """
+    values = None if measure is None else measure[selected]
+    return grouped_aggregate_values(op, values, inverse, num_groups)
+
+
+def grouped_aggregate_values(
+    op: str, values: np.ndarray | None, inverse: np.ndarray, num_groups: int
+) -> np.ndarray:
+    """:func:`grouped_aggregate` over already-gathered measure values."""
     if op == "count":
         return np.bincount(inverse, minlength=num_groups).astype(np.float64)
-    values = measure[selected]
     if op == "sum":
         return np.bincount(inverse, weights=values, minlength=num_groups)
     if op == "avg":
@@ -189,6 +224,60 @@ def grouped_aggregate(
     reducer = np.minimum if op == "min" else np.maximum
     reducer.at(out, inverse, values)
     return out
+
+
+#: Domain size beyond which the packed-key group-by abandons the dense
+#: ``bincount`` remap for a sort-based ``np.unique`` over the packed int64
+#: keys.  The remap's scratch arrays are O(domain) regardless of row count,
+#: so this is a hard cap (~64 MB of transient scratch at the limit); every
+#: SSB group-by domain (years x brands, city x city x year, ...) sits far
+#: below it.
+PACKED_DENSE_LIMIT = 1 << 22
+
+
+def factorize_group_keys(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Unique key tuples (lexicographically sorted) and inverse, via packed keys.
+
+    Equivalent to ``np.unique(np.stack(key_arrays, axis=1), axis=0,
+    return_inverse=True)`` but radically cheaper: each group column's values
+    span a small range (dictionary codes, years), so the columns mix into a
+    single int64 radix key (first column most significant, which preserves
+    lexicographic order).  Small key domains factorize with two
+    ``np.bincount``-style passes and no sort at all; large ones fall back to
+    a 1-D ``np.unique`` over the packed keys, still far cheaper than the
+    row-wise ``axis=0`` structured sort.  Column ranges that cannot mix into
+    int64 fall back to ``np.unique(..., axis=0)`` unchanged.
+    """
+    lows = [int(a.min()) for a in key_arrays]
+    widths = [int(a.max()) - low + 1 for a, low in zip(key_arrays, lows)]
+    span = 1
+    for width in widths:
+        span *= width
+        if span > 2**62:
+            stacked = np.stack([a.astype(np.int64) for a in key_arrays], axis=1)
+            return np.unique(stacked, axis=0, return_inverse=True)
+
+    packed = np.zeros(key_arrays[0].shape[0], dtype=np.int64)
+    for array, low, width in zip(key_arrays, lows, widths):
+        packed *= width
+        packed += array.astype(np.int64) - low
+
+    if span <= PACKED_DENSE_LIMIT:
+        counts = np.bincount(packed, minlength=span)
+        unique_packed = np.flatnonzero(counts)
+        remap = np.zeros(span, dtype=np.int64)
+        remap[unique_packed] = np.arange(unique_packed.size)
+        inverse = remap[packed]
+    else:
+        unique_packed, inverse = np.unique(packed, return_inverse=True)
+
+    columns = []
+    rest = unique_packed
+    for low, width in zip(reversed(lows), reversed(widths)):
+        columns.append(rest % width + low)
+        rest = rest // width
+    unique = np.stack(list(reversed(columns)), axis=1)
+    return unique, inverse
 
 
 def validate_aggregate(aggregate: AggregateSpec) -> None:

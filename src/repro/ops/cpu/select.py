@@ -19,7 +19,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.expr import evaluate_pred, predicate_leaf_count, predicate_or_branches
+from repro.engine.expr import (
+    evaluate_pred,
+    evaluate_pred_at,
+    predicate_leaf_count,
+    predicate_or_branches,
+)
 from repro.hardware.counters import TrafficCounter
 from repro.ops.base import OperatorResult
 from repro.sim.cpu import CPUSimulator
@@ -28,6 +33,9 @@ from repro.storage import Table
 
 #: Entries per L1-resident vector a core processes between cursor updates.
 VECTOR_SIZE = 1024
+
+#: Cache-line granularity of a selection-vector gather on the CPU.
+LINE_BYTES = 64
 
 _VARIANTS = ("if", "pred", "simd_pred")
 
@@ -122,6 +130,7 @@ def cpu_select_pred(
     pred,
     variant: str = "simd_pred",
     simulator: CPUSimulator | None = None,
+    sel: np.ndarray | None = None,
 ) -> OperatorResult:
     """Run ``SELECT row ids FROM table WHERE <pred>`` for a predicate tree.
 
@@ -129,6 +138,14 @@ def cpu_select_pred(
     trees, bare specs, or legacy tuples) into the Section 4.2 selection scan.
     The value is the selection vector (matching row ids, in row order) --
     what the operator hands the rest of the pipeline.
+
+    With ``sel`` (an incoming selection vector of row ids) the scan runs
+    late-materialized: the predicate evaluates only at the surviving rows,
+    and each referenced column is charged ``min(full column, survivors x
+    cache line)`` bytes -- a refinement over a 1% survivor set touches ~1%
+    of the lines a fresh scan would, which is how chained selection-vector
+    filters stay cheap.  The returned value is the refined selection vector
+    (``sel`` rows also satisfying ``pred``).
 
     Cost shape: each referenced column is read once no matter how many
     leaves mention it (a single scan feeds every comparison), but the
@@ -147,18 +164,30 @@ def cpu_select_pred(
     pred = as_pred(pred)
     simulator = simulator or CPUSimulator()
 
-    mask = evaluate_pred(table, pred)
-    matched = np.flatnonzero(mask)
-    n = table.num_rows
-    selectivity = float(mask.mean()) if n else 0.0
+    if sel is None:
+        mask = evaluate_pred(table, pred)
+        matched = np.flatnonzero(mask)
+        n = table.num_rows
+        column_bytes = float(sum(table.column(c).nbytes for c in pred.columns()))
+        sel_read_bytes = 0.0
+    else:
+        keep = evaluate_pred_at(table, pred, sel)
+        matched = sel[keep]
+        n = int(sel.size)
+        # Gathers touch whole cache lines; a near-full selection degenerates
+        # to the streaming column scan (the min rule the engines also use).
+        column_bytes = float(
+            sum(min(table.column(c).nbytes, n * LINE_BYTES) for c in pred.columns())
+        )
+        sel_read_bytes = float(sel.nbytes)
+    selectivity = (matched.size / n) if n else 0.0
     num_vectors = -(-n // VECTOR_SIZE) if n else 0
 
     leaves = predicate_leaf_count(pred)
     or_branches = predicate_or_branches(pred)
-    column_bytes = float(sum(table.column(c).nbytes for c in pred.columns()))
 
     traffic = TrafficCounter(
-        sequential_read_bytes=column_bytes,
+        sequential_read_bytes=column_bytes + sel_read_bytes,
         sequential_write_bytes=float(matched.nbytes),
         # Second pass over each vector is served from L1 (charged as shared).
         shared_bytes=column_bytes,

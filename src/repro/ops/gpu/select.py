@@ -29,7 +29,12 @@ from repro.crystal import (
     block_shuffle,
     block_store,
 )
-from repro.engine.expr import evaluate_pred, predicate_leaf_count, predicate_or_branches
+from repro.engine.expr import (
+    evaluate_pred,
+    evaluate_pred_at,
+    predicate_leaf_count,
+    predicate_or_branches,
+)
 from repro.hardware.counters import TrafficCounter
 from repro.ops.base import OperatorResult
 from repro.sim.gpu import GPUSimulator, KernelLaunch
@@ -87,12 +92,17 @@ def gpu_select(
     )
 
 
+#: Memory-transaction granularity of a selection-vector gather on the GPU.
+TRANSACTION_BYTES = 32
+
+
 def gpu_select_pred(
     table: Table,
     pred,
     threads_per_block: int = 128,
     items_per_thread: int = 4,
     simulator: GPUSimulator | None = None,
+    sel: np.ndarray | None = None,
 ) -> OperatorResult:
     """Run ``SELECT row ids FROM table WHERE <pred>`` as one fused tile kernel.
 
@@ -109,18 +119,33 @@ def gpu_select_pred(
     engines materialize one intermediate per leaf) is exactly the Section
     3.3 comparison, and why the OmniSci-like baseline is charged extra for
     OR terms while this kernel is not.
+
+    With ``sel`` (an incoming selection vector of row ids) the kernel runs
+    late-materialized: threads gather only the surviving rows of each
+    referenced column (charged at memory-transaction granularity, capped at
+    the full column) and the value is the refined selection vector.
     """
     pred = as_pred(pred)
     simulator = simulator or GPUSimulator()
 
-    mask = evaluate_pred(table, pred)
-    matched = np.flatnonzero(mask)
-    n = table.num_rows
-    selectivity = float(mask.mean()) if n else 0.0
+    if sel is None:
+        mask = evaluate_pred(table, pred)
+        matched = np.flatnonzero(mask)
+        n = table.num_rows
+        column_bytes = float(sum(table.column(c).nbytes for c in pred.columns()))
+        sel_read_bytes = 0.0
+    else:
+        keep = evaluate_pred_at(table, pred, sel)
+        matched = sel[keep]
+        n = int(sel.size)
+        column_bytes = float(
+            sum(min(table.column(c).nbytes, n * TRANSACTION_BYTES) for c in pred.columns())
+        )
+        sel_read_bytes = float(sel.nbytes)
+    selectivity = (matched.size / n) if n else 0.0
 
     leaves = predicate_leaf_count(pred)
     or_branches = predicate_or_branches(pred)
-    column_bytes = float(sum(table.column(c).nbytes for c in pred.columns()))
 
     launch = KernelLaunch(
         threads_per_block=threads_per_block,
@@ -129,7 +154,7 @@ def gpu_select_pred(
     )
     num_tiles = -(-n // launch.tile_size) if n else 0
     traffic = TrafficCounter(
-        sequential_read_bytes=column_bytes,
+        sequential_read_bytes=column_bytes + sel_read_bytes,
         sequential_write_bytes=float(matched.nbytes),
         # Tiles staged through shared memory for the block-wide shuffle.
         shared_bytes=column_bytes,

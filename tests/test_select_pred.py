@@ -97,3 +97,54 @@ class TestGPUSelectPred:
         branchy = gpu_select_pred(table, BRANCHY)
         assert branchy.traffic.compute_ops > band.traffic.compute_ops
         assert branchy.traffic.sequential_read_bytes == band.traffic.sequential_read_bytes
+
+
+class TestSelectionVectorRefinement:
+    """Late-materialized refinement: scans taking an incoming selection vector."""
+
+    def _refined_reference(self, table, first, second):
+        sel = np.flatnonzero(evaluate_pred(table, first))
+        both = np.flatnonzero(evaluate_pred(table, first) & evaluate_pred(table, second))
+        return sel, both
+
+    @pytest.mark.parametrize("variant", ["if", "pred", "simd_pred"])
+    def test_cpu_refined_value(self, table, variant):
+        sel, both = self._refined_reference(table, BAND, col("y") > 40)
+        result = cpu_select_pred(table, col("y") > 40, variant=variant, sel=sel)
+        assert np.array_equal(result.value, both)
+        assert result.stats["rows"] == float(sel.size)
+
+    def test_gpu_refined_value(self, table):
+        sel, both = self._refined_reference(table, BAND, col("y") > 40)
+        result = gpu_select_pred(table, col("y") > 40, sel=sel)
+        assert np.array_equal(result.value, both)
+
+    def test_cpu_refinement_cheaper_than_rescan(self, table):
+        # A tiny survivor set: refinement touches survivors-x-line bytes,
+        # far less than a second full column scan.
+        sel = np.flatnonzero(evaluate_pred(table, col("x") == 10))
+        assert 0 < sel.size < table.num_rows // 50
+        full = cpu_select_pred(table, col("y") > 40)
+        refined = cpu_select_pred(table, col("y") > 40, sel=sel)
+        assert refined.traffic.sequential_read_bytes < full.traffic.sequential_read_bytes
+        assert refined.time.total_seconds < full.time.total_seconds
+
+    def test_gpu_refinement_cheaper_than_rescan(self, table):
+        sel = np.flatnonzero(evaluate_pred(table, col("x") == 10))
+        full = gpu_select_pred(table, col("y") > 40)
+        refined = gpu_select_pred(table, col("y") > 40, sel=sel)
+        assert refined.traffic.sequential_read_bytes < full.traffic.sequential_read_bytes
+        assert refined.time.total_seconds < full.time.total_seconds
+
+    def test_near_full_selection_degenerates_to_scan_bytes(self, table):
+        # min(full column, rows x line) caps the charge at the full scan.
+        sel = np.arange(table.num_rows, dtype=np.int64)
+        refined = cpu_select_pred(table, col("y") > 40, sel=sel)
+        column_bytes = float(table.column("y").nbytes)
+        assert refined.traffic.sequential_read_bytes == column_bytes + float(sel.nbytes)
+
+    def test_empty_selection_vector(self, table):
+        sel = np.array([], dtype=np.int64)
+        result = cpu_select_pred(table, BAND, sel=sel)
+        assert result.value.size == 0
+        assert result.stats["selectivity"] == 0.0
