@@ -27,6 +27,7 @@ import argparse
 import json
 import time
 
+from bench_util import write_json_atomic
 from repro.api import Session
 from repro.engine.physical import lower_query
 from repro.ssb.generator import generate_ssb
@@ -117,8 +118,7 @@ def main(argv: list[str] | None = None) -> None:
     result = run_batched_comparison(
         scale_factor=args.scale_factor, engine=args.engine, seed=args.seed, repeats=args.repeats
     )
-    with open(args.output, "w") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
+    write_json_atomic(args.output, result)
     print(json.dumps(result, indent=2, sort_keys=True))
     print(f"\nwrote {args.output}")
 

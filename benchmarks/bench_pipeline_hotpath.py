@@ -25,11 +25,11 @@ Run standalone (CI smoke uses the defaults)::
 from __future__ import annotations
 
 import argparse
-import json
 import time
 
 import numpy as np
 
+from bench_util import write_json_atomic
 from repro.api import Session
 from repro.engine.physical import lower_query
 from repro.engine.plan import execute_query, execute_query_monolithic, factorize_group_keys
@@ -177,6 +177,12 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--output", default="BENCH_pipeline.json")
+    parser.add_argument(
+        "--min-selection-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the selection-vector speedup drops below this floor",
+    )
     args = parser.parse_args()
 
     report = run_hotpath_benchmark(
@@ -186,8 +192,7 @@ def main() -> None:
         seed=args.seed,
         repeats=args.repeats,
     )
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2)
+    write_json_atomic(args.output, report)
 
     sel = report["selection_vectors"]
     batch = report["batch"]
@@ -207,6 +212,12 @@ def main() -> None:
         f"({batch['speedup_workers_vs_serial']:.2f}x, "
         f"{batch['distinct_builds']} builds constructed once)"
     )
+
+    if args.min_selection_speedup is not None and sel["speedup"] < args.min_selection_speedup:
+        raise SystemExit(
+            f"data-plane regression: selection-vector speedup {sel['speedup']:.2f}x is below "
+            f"the committed floor {args.min_selection_speedup:.2f}x"
+        )
 
 
 if __name__ == "__main__":

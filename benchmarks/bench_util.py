@@ -1,0 +1,33 @@
+"""Shared helpers for the standalone benchmark scripts."""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+
+def write_json_atomic(path: str, payload: dict, **json_kwargs) -> None:
+    """Write ``payload`` as JSON to ``path`` atomically.
+
+    The report lands in a temporary file in the target directory and is
+    moved into place with :func:`os.replace`, so a reader (CI artifact
+    upload, a diff against the committed ``BENCH_*.json``) never observes a
+    half-written file, and an interrupted run leaves the previous report
+    intact rather than a truncated one.
+    """
+    json_kwargs.setdefault("indent", 2)
+    json_kwargs.setdefault("sort_keys", True)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".bench-", suffix=".json.tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, **json_kwargs)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

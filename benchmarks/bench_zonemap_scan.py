@@ -1,0 +1,252 @@
+"""Zone-map data skipping + compressed scans vs the selection-vector baseline.
+
+Head-to-head wall-clock measurement of the pruned, compression-aware scan
+plane (zone-map pruning, stats-compacted dimension lookups, in-range probe
+fast paths, packed gathers) against the PR 4 selection-vector pipeline --
+the same code with no :class:`~repro.engine.cache.ZoneMapCache` active --
+written to ``BENCH_zonemap.json``:
+
+1. **13-query batch** on a fact table *clustered by its date key* (the
+   order real lineorder data arrives in; zone maps are a statistics
+   subsystem, and statistics need locality to prove anything).  Answers
+   and profiles are asserted byte-identical between the two planes (and
+   the monolithic reference) before anything is timed.
+2. **Per-flight pruning counters** from ``Session.cache_info("zones")``:
+   zones skipped / taken whole / evaluated and rows pruned, per SSB query
+   flight -- the low-selectivity Q1.x flight shows the highest pruning
+   ratio because its date restriction turns into a probe key range that
+   excludes most zones of the clustered fact table.
+3. **Compressed scan accounting** from the operator models: bytes charged
+   by ``cpu_select_pred`` for a small-domain band predicate with and
+   without the packed twin (full scan and sparse gather), i.e. the
+   Section 5.5 traffic saving ``ceil(rows x bit_width / 8)`` vs 4-byte
+   values.
+
+Run standalone (CI smoke uses SF 0.01 and enforces ``--min-speedup``)::
+
+    PYTHONPATH=src python benchmarks/bench_zonemap_scan.py --scale-factor 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from bench_util import write_json_atomic
+from repro.api import Session, col
+from repro.engine.cache import ZoneMapCache, activate_zones
+from repro.engine.plan import execute_query, execute_query_monolithic
+from repro.ops.cpu import cpu_select_pred
+from repro.ssb.generator import generate_ssb
+from repro.ssb.queries import QUERIES, QUERY_ORDER
+from repro.storage import BitPackedColumn, Database, cluster_by
+
+DEFAULT_SCALE_FACTOR = 0.05
+DEFAULT_SEED = 7
+
+#: Query names per SSB flight, derived from the specs themselves.
+FLIGHTS = {
+    flight: [name for name in QUERY_ORDER if QUERIES[name].flight == flight]
+    for flight in sorted({query.flight for query in QUERIES.values()})
+}
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_batch(db: Database, queries, repeats: int) -> dict:
+    """The 13 queries through both planes: parity first, then wall clock."""
+    zone_cache = ZoneMapCache(db)
+
+    def run_baseline():
+        return [execute_query(db, q) for q in queries]
+
+    def run_pruned():
+        with activate_zones(zone_cache):
+            return [execute_query(db, q) for q in queries]
+
+    baseline = run_baseline()
+    pruned = run_pruned()  # also warms the statistics and packed twins
+    for (value_b, profile_b), (value_p, profile_p), query in zip(baseline, pruned, queries):
+        value_m, profile_m = execute_query_monolithic(db, query)
+        if not (value_b == value_p == value_m and profile_b == profile_p == profile_m):
+            raise AssertionError(f"scan planes diverged on {query.name}")
+
+    per_query = {}
+    for query in queries:
+        base_s = _best_of(lambda query=query: execute_query(db, query), repeats)
+
+        def pruned_once(query=query):
+            with activate_zones(zone_cache):
+                execute_query(db, query)
+
+        zone_s = _best_of(pruned_once, repeats)
+        per_query[query.name] = {
+            "baseline_ms": base_s * 1e3,
+            "pruned_ms": zone_s * 1e3,
+            "speedup": base_s / zone_s if zone_s else float("inf"),
+        }
+
+    baseline_s = _best_of(run_baseline, repeats)
+    pruned_s = _best_of(run_pruned, repeats)
+    return {
+        "queries": len(queries),
+        "baseline_wall_s": baseline_s,
+        "pruned_wall_s": pruned_s,
+        "speedup": baseline_s / pruned_s if pruned_s else float("inf"),
+        "per_query": per_query,
+    }
+
+
+def bench_flight_counters(db: Database, engine: str) -> dict:
+    """Per-flight zone counters through the Session surface."""
+    fact_rows = db.table("lineorder").num_rows
+    out = {}
+    for flight, names in FLIGHTS.items():
+        session = Session(db, cache=False)
+        session.run_many([QUERIES[name] for name in names], engine=engine)
+        info = session.cache_info("zones")
+        touchable = sum(
+            fact_rows * (len(QUERIES[n].joins) + len(QUERIES[n].predicate.columns())) for n in names
+        )
+        out[f"flight_{flight}"] = {
+            "queries": len(names),
+            "zones_skipped": info.zones_skipped,
+            "zones_taken": info.zones_taken,
+            "zones_evaluated": info.zones_evaluated,
+            "rows_pruned": info.rows_pruned,
+            "pruned_fraction_of_fact": info.rows_pruned / (fact_rows * len(names)),
+            "stage_rows_upper_bound": touchable,
+        }
+    return out
+
+
+def bench_packed_accounting(db: Database) -> dict:
+    """Modeled scan bytes with and without the packed twin (ops layer)."""
+    fact = db.table("lineorder")
+    packed = {"lo_quantity": BitPackedColumn.pack(fact.column("lo_quantity"))}
+    pred = col("lo_quantity").between(26, 35)
+    rng = np.random.default_rng(DEFAULT_SEED)
+    sparse = np.flatnonzero(rng.random(fact.num_rows) < 0.01).astype(np.int64)
+
+    full_plain = cpu_select_pred(fact, pred)
+    full_packed = cpu_select_pred(fact, pred, packed=packed)
+    gather_plain = cpu_select_pred(fact, pred, sel=sparse)
+    gather_packed = cpu_select_pred(fact, pred, sel=sparse, packed=packed)
+    if not np.array_equal(full_plain.value, full_packed.value):
+        raise AssertionError("packed full scan diverged")
+    if not np.array_equal(gather_plain.value, gather_packed.value):
+        raise AssertionError("packed gather diverged")
+    return {
+        "column": "lo_quantity",
+        "bit_width": packed["lo_quantity"].bit_width,
+        "full_scan": {
+            "plain_bytes": full_plain.stats["scan_bytes"],
+            "packed_bytes": full_packed.stats["scan_bytes"],
+            "ratio": full_plain.stats["scan_bytes"] / full_packed.stats["scan_bytes"],
+        },
+        "sparse_gather": {
+            "rows": int(sparse.size),
+            "plain_bytes": gather_plain.stats["scan_bytes"],
+            "packed_bytes": gather_packed.stats["scan_bytes"],
+            "ratio": gather_plain.stats["scan_bytes"] / gather_packed.stats["scan_bytes"],
+        },
+    }
+
+
+def run_zonemap_benchmark(
+    scale_factor: float = DEFAULT_SCALE_FACTOR,
+    engine: str = "cpu",
+    seed: int = DEFAULT_SEED,
+    repeats: int = 5,
+) -> dict:
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    db = cluster_by(generate_ssb(scale_factor=scale_factor, seed=seed), "lineorder", "lo_orderdate")
+    queries = [QUERIES[name] for name in QUERY_ORDER]
+    return {
+        "scale_factor": scale_factor,
+        "seed": seed,
+        "repeats": repeats,
+        "clustered_by": "lo_orderdate",
+        "fact_rows": db.table("lineorder").num_rows,
+        "batch": bench_batch(db, queries, repeats),
+        "flights": bench_flight_counters(db, engine),
+        "packed_scan": bench_packed_accounting(db),
+    }
+
+
+def test_zonemap_scan(run_once):
+    """pytest-benchmark entry point alongside the figure benchmarks."""
+    result = run_once(run_zonemap_benchmark, scale_factor=0.01, repeats=2)
+    batch = result["batch"]
+    print("\nZone-map scan plane -- pruned+packed vs selection-vector baseline")
+    print(
+        f"batch x{batch['queries']}: {batch['baseline_wall_s'] * 1e3:.1f} ms -> "
+        f"{batch['pruned_wall_s'] * 1e3:.1f} ms ({batch['speedup']:.2f}x)"
+    )
+    assert batch["speedup"] > 1.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale-factor", type=float, default=DEFAULT_SCALE_FACTOR)
+    parser.add_argument("--engine", default="cpu")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--output", default="BENCH_zonemap.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the pruned plane's batch speedup drops below this floor",
+    )
+    args = parser.parse_args()
+
+    report = run_zonemap_benchmark(
+        scale_factor=args.scale_factor, engine=args.engine, seed=args.seed, repeats=args.repeats
+    )
+    write_json_atomic(args.output, report)
+
+    batch = report["batch"]
+    print(f"wrote {args.output} (scale factor {args.scale_factor}, clustered by lo_orderdate)")
+    print(
+        f"  batch x{batch['queries']:<3}: {batch['baseline_wall_s'] * 1e3:8.1f} ms baseline -> "
+        f"{batch['pruned_wall_s'] * 1e3:8.1f} ms pruned+packed ({batch['speedup']:.2f}x)"
+    )
+    for name, row in batch["per_query"].items():
+        print(
+            f"    {name}: {row['baseline_ms']:7.2f} -> {row['pruned_ms']:7.2f} ms "
+            f"({row['speedup']:.2f}x)"
+        )
+    for flight, counters in report["flights"].items():
+        print(
+            f"  {flight}: {counters['zones_skipped']} zones skipped, "
+            f"{counters['zones_evaluated']} evaluated, "
+            f"{counters['rows_pruned']} rows pruned "
+            f"({counters['pruned_fraction_of_fact']:.2f}x fact width per query)"
+        )
+    packed = report["packed_scan"]
+    print(
+        f"  packed {packed['column']} ({packed['bit_width']} bits): "
+        f"full scan {packed['full_scan']['ratio']:.2f}x fewer bytes, "
+        f"sparse gather {packed['sparse_gather']['ratio']:.1f}x fewer bytes"
+    )
+
+    if args.min_speedup is not None and batch["speedup"] < args.min_speedup:
+        raise SystemExit(
+            f"zone-map regression: batch speedup {batch['speedup']:.2f}x is below the "
+            f"committed floor {args.min_speedup:.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -45,6 +45,7 @@ from __future__ import annotations
 import math
 import os
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -55,8 +56,11 @@ from repro.engine.cache import (
     BuildArtifactCache,
     CacheInfo,
     ExecutionCache,
+    ZoneInfo,
+    ZoneMapCache,
     activate,
     activate_builds,
+    activate_zones,
 )
 from repro.engine.physical import lower_query, staged_builds
 from repro.engine.planner import JoinOrderPlanner
@@ -185,6 +189,8 @@ class Session:
         cache: bool = True,
         cache_size: int = 64,
         build_cache_size: int = 128,
+        zones: bool = True,
+        zone_size: int | None = None,
     ) -> None:
         self.db = db
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
@@ -192,6 +198,11 @@ class Session:
         self._engines: dict[str, Engine] = {}
         self._cache = ExecutionCache(db, maxsize=cache_size) if cache else None
         self._build_cache = BuildArtifactCache(db, maxsize=build_cache_size)
+        # The pruned, compression-aware scan plane (zone-map data skipping +
+        # packed column twins) is the default; ``zones=False`` falls back to
+        # the unpruned selection-vector plane.  Answers and profiles are
+        # identical either way -- only the work done differs.
+        self._zone_cache = ZoneMapCache(db, zone_size=zone_size) if zones else None
 
     # ------------------------------------------------------------------
     @property
@@ -225,35 +236,45 @@ class Session:
         return query
 
     # ------------------------------------------------------------------
-    def cache_info(self, cache: str = "execution") -> CacheInfo:
+    def cache_info(self, cache: str = "execution") -> CacheInfo | ZoneInfo:
         """Hit/miss counters of one of the session's caches.
 
         ``cache="execution"`` (the default) reports the functional-execution
         memo; ``cache="builds"`` reports the shared dimension-build artifact
-        cache that ``run_many(..., share_builds=True)`` populates.
+        cache that ``run_many(..., share_builds=True)`` populates;
+        ``cache="zones"`` reports the zone-map statistics cache and the
+        data-skipping counters (zones skipped / taken whole / evaluated,
+        rows pruned without being touched).
         """
         if cache in ("builds", "build"):
             return self._build_cache.info()
+        if cache in ("zones", "zone"):
+            if self._zone_cache is None:
+                return ZoneInfo(0, 0, 0, 0, 0, 0, 0)
+            return self._zone_cache.info()
         if cache != "execution":
-            raise ValueError(f"unknown cache {cache!r}; expected 'execution' or 'builds'")
+            raise ValueError(f"unknown cache {cache!r}; expected 'execution', 'builds', or 'zones'")
         if self._cache is None:
             return CacheInfo(hits=0, misses=0, size=0, maxsize=0)
         return self._cache.info()
 
     def clear_cache(self) -> None:
-        """Drop every memoized execution and build artifact (e.g. after
-        mutating the database)."""
+        """Drop every memoized execution, build artifact, and zone map (e.g.
+        after mutating the database)."""
         if self._cache is not None:
             self._cache.clear()
         self._build_cache.clear()
+        if self._zone_cache is not None:
+            self._zone_cache.clear()
 
     def _execute(self, engine_name: str, prepared: SSBQuery, cache: bool | None) -> ResultSet:
         chosen = self.engine(engine_name)
         use_cache = self._cache is not None and cache is not False
-        if use_cache:
-            with activate(self._cache):
-                raw = chosen.run(prepared)
-        else:
+        with ExitStack() as stack:
+            if self._zone_cache is not None:
+                stack.enter_context(activate_zones(self._zone_cache))
+            if use_cache:
+                stack.enter_context(activate(self._cache))
             raw = chosen.run(prepared)
         return ResultSet.from_result(self.db, prepared, raw)
 
@@ -335,9 +356,14 @@ class Session:
         self._build_cache.maxsize = max(self._build_cache.maxsize, len(builds))
         with activate_builds(self._build_cache) as build_cache:
             # Phase 1: construct each of the batch's distinct builds once
-            # (sources before dependents, once snowflake chains lower).
-            for build in builds:
-                build_cache.fetch(self.db, build.key, lambda: build.build(self.db))
+            # (sources before dependents, once snowflake chains lower) --
+            # under the zone scope so they get the compact stats-based
+            # layout the per-query probes will also see.
+            with ExitStack() as stack:
+                if self._zone_cache is not None:
+                    stack.enter_context(activate_zones(self._zone_cache))
+                for build in builds:
+                    build_cache.fetch(self.db, build.key, lambda: build.build(self.db))
             # Phase 2: per-query probe/aggregate stages; every BuildLookup
             # now resolves from the shared artifact cache.
             return [self._execute(engine, query, cache) for query in prepared]

@@ -34,7 +34,14 @@ then costs under its own hardware model.
 """
 
 from repro.engine.baselines import HyperLikeEngine, MonetDBLikeEngine, OmnisciLikeEngine
-from repro.engine.cache import BuildArtifactCache, CacheInfo, ExecutionCache
+from repro.engine.cache import (
+    BuildArtifactCache,
+    CacheInfo,
+    ExecutionCache,
+    ZoneInfo,
+    ZoneMapCache,
+    activate_zones,
+)
 from repro.engine.coprocessor import CoprocessorEngine
 from repro.engine.cpu_engine import CPUStandaloneEngine
 from repro.engine.gpu_engine import GPUStandaloneEngine
@@ -59,6 +66,9 @@ __all__ = [
     "CacheInfo",
     "CoprocessorEngine",
     "ExecutionCache",
+    "ZoneInfo",
+    "ZoneMapCache",
+    "activate_zones",
     "GPUStandaloneEngine",
     "HyperLikeEngine",
     "JoinOrderPlanner",

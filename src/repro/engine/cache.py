@@ -1,6 +1,6 @@
 """Caches shared across query executions.
 
-Two caches live here, both activated through context-local scopes:
+Three caches live here, all activated through context-local scopes:
 
 * :class:`ExecutionCache` memoizes the whole functional execution pass.
   Every engine answers a query by first running the shared functional
@@ -25,6 +25,15 @@ Two caches live here, both activated through context-local scopes:
   across the batch (the ROADMAP's batched-executor item).  Artifacts are
   immutable (their arrays are marked read-only), so sharing is safe without
   copying.
+
+* :class:`ZoneMapCache` holds the data-skipping statistics of the pruned
+  scan plane: one lazily-built
+  :class:`~repro.storage.zonemap.TableZoneMaps` per table (zone min/max,
+  tiny-domain bitsets, packed column twins).  Statistics depend only on
+  the stored data, never on a query, so one cache serves every query a
+  :class:`~repro.api.Session` runs; it also accumulates the pipeline's
+  zone skip/take/evaluate counters, surfaced through
+  ``Session.cache_info("zones")``.
 
 The active-cache slots are :class:`contextvars.ContextVar`, not module
 globals: nested :func:`activate` scopes restore the previous cache on exit
@@ -239,14 +248,126 @@ class BuildArtifactCache:
         return f"BuildArtifactCache({self.info()})"
 
 
+class ZoneInfo(NamedTuple):
+    """Counters of one :class:`ZoneMapCache`.
+
+    ``hits``/``misses`` count zone-map *constructions* per table (a miss
+    builds the table's statistics holder, a hit reuses it); the zone
+    counters accumulate what the pruned scan plane did with the
+    classifications: zones proven empty and never materialized
+    (``zones_skipped``), zones taken whole without evaluating the predicate
+    (``zones_taken``), zones the statistics could not decide
+    (``zones_evaluated``), and the total rows data skipping excluded
+    without touching (``rows_pruned``).
+    """
+
+    hits: int
+    misses: int
+    tables: int
+    zones_skipped: int
+    zones_taken: int
+    zones_evaluated: int
+    rows_pruned: int
+
+
+class ZoneMapCache:
+    """Per-table zone statistics plus the pipeline's data-skipping counters.
+
+    Bound to one database like the other caches; :meth:`maps` for a
+    different database returns ``None`` (callers fall back to the unpruned
+    plane).  Thread-safe: the table dict and the counters mutate under an
+    :class:`threading.RLock` here, and each
+    :class:`~repro.storage.zonemap.TableZoneMaps` guards its own lazy
+    per-column construction, so racing workers build every column's
+    statistics (and packed twin) exactly once.
+    """
+
+    def __init__(self, db: object, zone_size: int | None = None, packed_max_bits: int | None = None) -> None:
+        # Deferred import: the storage layer must not depend on this module.
+        from repro.storage.zonemap import DEFAULT_ZONE_SIZE, PACKED_MAX_BITS
+
+        if zone_size is not None and (zone_size < 1 or zone_size & (zone_size - 1)):
+            # Fail at construction (e.g. the Session constructor), not deep
+            # inside the first query's lowering.
+            raise ValueError(f"zone_size must be a power of two, got {zone_size}")
+        self.db = db
+        self.zone_size = DEFAULT_ZONE_SIZE if zone_size is None else zone_size
+        self.packed_max_bits = PACKED_MAX_BITS if packed_max_bits is None else packed_max_bits
+        self.hits = 0
+        self.misses = 0
+        self.zones_skipped = 0
+        self.zones_taken = 0
+        self.zones_evaluated = 0
+        self.rows_pruned = 0
+        self._tables: dict = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def maps(self, db, table):
+        """The (memoized) zone statistics of ``table``, or ``None`` off-database."""
+        from repro.storage.zonemap import TableZoneMaps
+
+        if db is not self.db:
+            return None
+        with self._lock:
+            maps = self._tables.get(table.name)
+            if maps is not None:
+                self.hits += 1
+                return maps
+            self.misses += 1
+            maps = TableZoneMaps(table, zone_size=self.zone_size, packed_max_bits=self.packed_max_bits)
+            self._tables[table.name] = maps
+            return maps
+
+    def record(self, skipped: int = 0, taken: int = 0, evaluated: int = 0, rows_pruned: int = 0) -> None:
+        """Accumulate one operator's zone classification outcome."""
+        with self._lock:
+            self.zones_skipped += skipped
+            self.zones_taken += taken
+            self.zones_evaluated += evaluated
+            self.rows_pruned += rows_pruned
+
+    def info(self) -> ZoneInfo:
+        """Construction and data-skipping counters."""
+        with self._lock:
+            return ZoneInfo(
+                hits=self.hits,
+                misses=self.misses,
+                tables=len(self._tables),
+                zones_skipped=self.zones_skipped,
+                zones_taken=self.zones_taken,
+                zones_evaluated=self.zones_evaluated,
+                rows_pruned=self.rows_pruned,
+            )
+
+    def clear(self) -> None:
+        """Drop every table's statistics and reset the counters."""
+        with self._lock:
+            self._tables.clear()
+            self.hits = 0
+            self.misses = 0
+            self.zones_skipped = 0
+            self.zones_taken = 0
+            self.zones_evaluated = 0
+            self.rows_pruned = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tables)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ZoneMapCache({self.info()})"
+
+
 #: The caches the *current* execution context consults, if any.  Installed by
-#: :func:`activate` / :func:`activate_builds`.  ContextVars (not module
-#: globals) so nested scopes restore correctly and threaded batch execution
-#: cannot clobber another context's binding.
+#: :func:`activate` / :func:`activate_builds` / :func:`activate_zones`.
+#: ContextVars (not module globals) so nested scopes restore correctly and
+#: threaded batch execution cannot clobber another context's binding.
 _ACTIVE: ContextVar[ExecutionCache | None] = ContextVar("repro_active_execution_cache", default=None)
 _ACTIVE_BUILDS: ContextVar[BuildArtifactCache | None] = ContextVar(
     "repro_active_build_cache", default=None
 )
+_ACTIVE_ZONES: ContextVar["ZoneMapCache | None"] = ContextVar("repro_active_zone_cache", default=None)
 
 
 def active_cache() -> ExecutionCache | None:
@@ -277,3 +398,18 @@ def activate_builds(cache: BuildArtifactCache):
         yield cache
     finally:
         _ACTIVE_BUILDS.reset(token)
+
+
+def active_zone_maps() -> "ZoneMapCache | None":
+    """The cache installed by the innermost :func:`activate_zones`, or ``None``."""
+    return _ACTIVE_ZONES.get()
+
+
+@contextmanager
+def activate_zones(cache: "ZoneMapCache"):
+    """Enable zone-map data skipping (and packed gathers) for the duration."""
+    token = _ACTIVE_ZONES.set(cache)
+    try:
+        yield cache
+    finally:
+        _ACTIVE_ZONES.reset(token)

@@ -73,42 +73,52 @@ def _check_filter_types(values: np.ndarray, spec: FilterSpec, constant) -> None:
             )
 
 
-def evaluate_filter(table: Table, spec: FilterSpec) -> np.ndarray:
-    """Evaluate one filter against a table, returning a boolean mask."""
-    values = table[spec.column]
+def evaluate_filter(table: Table, spec: FilterSpec, packed=None) -> np.ndarray:
+    """Evaluate one filter against a table, returning a boolean mask.
+
+    With ``packed`` (a mapping of column name to
+    :class:`~repro.storage.compression.BitPackedColumn`) the comparison
+    reads the packed twin -- decoded exactly, so the mask is identical;
+    only the bytes touched differ.
+    """
+    if packed and spec.column in packed:
+        values = packed[spec.column].unpack()
+    else:
+        values = table[spec.column]
     constant = resolve_filter_value(table, spec)
     _check_filter_types(values, spec, constant)
     return compare_values(values, spec, constant)
 
 
-def evaluate_pred(table: Table, pred) -> np.ndarray:
+def evaluate_pred(table: Table, pred, packed=None) -> np.ndarray:
     """Evaluate a predicate tree against ``table``, returning a boolean mask.
 
     ``pred`` may be a :class:`~repro.ssb.queries.Pred`, a bare
     :class:`~repro.ssb.queries.FilterSpec`, or a tuple of specs (the legacy
     conjunction shape).  An empty :class:`~repro.ssb.queries.And` selects
     every row; an empty :class:`~repro.ssb.queries.Or` selects none (the
-    identities of the respective operators).
+    identities of the respective operators).  ``packed`` optionally maps
+    column names to packed twins the comparisons should read instead.
     """
     pred = as_pred(pred)
     if isinstance(pred, Leaf):
-        return evaluate_filter(table, pred.spec)
+        return evaluate_filter(table, pred.spec, packed)
     if isinstance(pred, And):
         mask = np.ones(table.num_rows, dtype=bool)
         for child in pred.children:
-            mask &= evaluate_pred(table, child)
+            mask &= evaluate_pred(table, child, packed)
         return mask
     if isinstance(pred, Or):
         mask = np.zeros(table.num_rows, dtype=bool)
         for child in pred.children:
-            mask |= evaluate_pred(table, child)
+            mask |= evaluate_pred(table, child, packed)
         return mask
     if isinstance(pred, Not):
-        return ~evaluate_pred(table, pred.child)
+        return ~evaluate_pred(table, pred.child, packed)
     raise TypeError(f"unsupported predicate node {type(pred).__name__}")
 
 
-def evaluate_pred_at(table: Table, pred, sel: np.ndarray) -> np.ndarray:
+def evaluate_pred_at(table: Table, pred, sel: np.ndarray, packed=None) -> np.ndarray:
     """Evaluate a predicate tree only at the rows named by ``sel``.
 
     The late-materialization counterpart of :func:`evaluate_pred`: instead
@@ -119,13 +129,22 @@ def evaluate_pred_at(table: Table, pred, sel: np.ndarray) -> np.ndarray:
     vector.  When the surviving fraction is small this touches a tiny slice
     of each column instead of re-scanning it, which is the whole point of
     carrying selection vectors between operators.
+
+    Columns named in ``packed`` gather from their packed twin
+    (:meth:`~repro.storage.compression.BitPackedColumn.unpack_at`: a
+    word-aligned gather plus shift/mask) -- the compressed scan path, which
+    touches ``bit_width`` bits per surviving row instead of a 4-byte value.
     """
     gathered: dict[str, np.ndarray] = {}
 
     def gather(column: str) -> np.ndarray:
         values = gathered.get(column)
         if values is None:
-            values = gathered[column] = table[column][sel]
+            if packed and column in packed:
+                values = packed[column].unpack_at(sel)
+            else:
+                values = table[column][sel]
+            gathered[column] = values
         return values
 
     def walk(node) -> np.ndarray:

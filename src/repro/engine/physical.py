@@ -31,6 +31,22 @@ profiles stay byte-identical to the full-width mask reference, so the cost
 models are untouched (``benchmarks/bench_pipeline_hotpath.py`` measures the
 wall-clock gap between the two data planes).
 
+On top of the selection vectors sits the **pruned, compression-aware scan
+plane** (on whenever a :class:`~repro.engine.cache.ZoneMapCache` is active,
+which a :class:`~repro.api.Session` does by default): :func:`lower` folds
+each fact-filter conjunct against per-zone min/max + tiny-domain bitset
+statistics (:mod:`repro.storage.zonemap`) so :class:`ScanFilter` skips
+provably-empty zones and takes provably-full ones whole; :class:`ProbeJoin`
+skips fact zones whose key range cannot intersect the build's present keys
+and drops its range-validity passes when statistics prove every key in
+bounds; :class:`BuildLookup` bases its perfect-hash arrays at the key
+column's minimum (a ~65 K-entry ``date`` lookup instead of ~20 M); and
+sparse gathers decode ``<= 16``-bit columns from packed words.  All of it
+is *sound* -- zones are only skipped or taken when statistics prove the
+outcome -- so answers and profiles remain byte-identical to the seed
+executor (``tests/test_zonemap.py`` holds all three planes together, and
+``benchmarks/bench_zonemap_scan.py`` measures the gap).
+
 The decomposition buys two things the monolithic pass could not offer:
 
 * **Shared build artifacts.**  :class:`BuildLookup` products are immutable
@@ -52,7 +68,7 @@ from typing import Hashable, Iterable
 
 import numpy as np
 
-from repro.engine.cache import BuildArtifactCache, active_build_cache
+from repro.engine.cache import BuildArtifactCache, ZoneMapCache, active_build_cache, active_zone_maps
 from repro.engine.expr import (
     evaluate_pred,
     evaluate_pred_at,
@@ -74,6 +90,13 @@ from repro.engine.plan import (
 )
 from repro.ssb.queries import AggregateSpec, Pred, SSBQuery, conjuncts
 from repro.storage import Database, Table
+from repro.storage.zonemap import (
+    ZONE_EVALUATE,
+    ZONE_SKIP,
+    ZONE_TAKE,
+    TableZoneMaps,
+    zone_rows,
+)
 
 # ----------------------------------------------------------------------
 # Logical plan
@@ -187,11 +210,23 @@ class BuildArtifact:
     build_scan_bytes: float
     lookup: np.ndarray
     present: np.ndarray
+    #: Key of slot 0: ``lookup[k - key_base]`` answers dimension key ``k``.
+    #: The zone-map plane sets it to the key column's minimum so sparse key
+    #: domains (dates) get compact arrays; 0 reproduces the seed layout.
+    key_base: int = 0
+    #: Range of the keys actually present (``[0, -1]`` for an empty build),
+    #: so probes can zone-skip fact rows whose keys cannot possibly match.
+    key_low: int = 0
+    key_high: int = -1
 
 
 # ----------------------------------------------------------------------
 # Execution state threaded through the operators
 # ----------------------------------------------------------------------
+
+#: A selection-vector gather reads packed words only when it touches fewer
+#: than ``1/this`` of the fact rows (see :meth:`PipelineState.packed_for`).
+PACKED_GATHER_DENOMINATOR = 32
 
 
 @dataclass
@@ -214,6 +249,10 @@ class PipelineState:
     profile: QueryProfile
     build_cache: BuildArtifactCache | None
     rows_alive: float
+    #: Zone statistics of the fact table (``None`` = data skipping off);
+    #: ``zone_cache`` additionally collects the skip/take/evaluate counters.
+    zones: TableZoneMaps | None = None
+    zone_cache: ZoneMapCache | None = None
     #: Selection vector of surviving fact row ids (``None`` = all alive).
     sel: np.ndarray | None = None
     #: Filter columns already charged to the profile (each exactly once).
@@ -240,6 +279,21 @@ class PipelineState:
             self.group_columns[name] = codes[keep]
         self.rows_alive = float(self.sel.size)
 
+    def packed_for(self, columns, width: int) -> dict | None:
+        """Packed twins for ``columns``, for a gather of ``width`` rows.
+
+        ``None`` when data skipping is off or the gather is too wide:
+        decoding packed words costs shift/mask work per value, which a real
+        machine buys back in bandwidth but a NumPy reproduction pays in
+        wall clock, so the compressed gather path is reserved for sparse
+        selections (< 1/:data:`PACKED_GATHER_DENOMINATOR` of the fact
+        rows), where the byte saving is also at its largest.  The operator
+        models in ``repro.ops`` charge the full packed-scan economics.
+        """
+        if self.zones is None or width * PACKED_GATHER_DENOMINATOR > self.fact.num_rows:
+            return None
+        return self.zones.packed_for(columns) or None
+
 
 # ----------------------------------------------------------------------
 # Physical operators
@@ -263,10 +317,21 @@ class ScanFilter:
     evaluates only at the surviving row ids
     (:func:`~repro.engine.expr.evaluate_pred_at`), so a selective leading
     term makes the rest of the predicate nearly free.
+
+    With a zone classification attached (the pruning pass in :func:`lower`
+    folds the term against the fact table's zone statistics), the scan is
+    zone-granular: *skip* zones are never materialized, *take-all* zones
+    join the selection vector without evaluating the predicate, and only
+    *evaluate* zones run :func:`~repro.engine.expr.evaluate_pred_at` --
+    over packed column twins where the domain fits.  Classification is
+    sound, so the resulting selection vector (and therefore the profile)
+    is byte-identical to the unpruned scan.
     """
 
-    def __init__(self, term: Pred) -> None:
+    def __init__(self, term: Pred, zone_cls: np.ndarray | None = None) -> None:
         self.term = term
+        #: Tri-state per-zone fold of ``term`` (None = statistics silent).
+        self.zone_cls = zone_cls
 
     def run(self, state: PipelineState) -> None:
         profile = state.profile
@@ -281,11 +346,23 @@ class ScanFilter:
                 )
             )
         rows_in = state.rows_alive
+        cls = self.zone_cls
+        if cls is not None and (state.zones is None or cls.shape[0] != state.zones.num_zones):
+            cls = None  # classified under different zone geometry; ignore
         if state.sel is None:
-            state.sel = np.flatnonzero(evaluate_pred(state.fact, self.term))
+            if cls is None:
+                state.sel = np.flatnonzero(evaluate_pred(state.fact, self.term))
+            else:
+                state.sel = self._seed_selection(state, cls)
             state.rows_alive = float(state.sel.size)
         else:
-            state.compact(evaluate_pred_at(state.fact, self.term, state.sel))
+            if cls is None:
+                keep = evaluate_pred_at(
+                    state.fact, self.term, state.sel, packed=state.packed_for(self.term.columns(), state.sel.size)
+                )
+            else:
+                keep = self._refine_selection(state, cls)
+            state.compact(keep)
         profile.filter_stages.append(
             FilterStage(
                 columns=self.term.columns(),
@@ -295,6 +372,54 @@ class ScanFilter:
                 or_branches=predicate_or_branches(self.term),
             )
         )
+
+    def _seed_selection(self, state: PipelineState, cls: np.ndarray) -> np.ndarray:
+        """First-conjunct scan as a zone-granular selection-vector seed."""
+        zones = state.zones
+        n = state.fact.num_rows
+        take_rows = zone_rows(np.flatnonzero(cls == ZONE_TAKE), zones.zone_size, n)
+        eval_ids = np.flatnonzero(cls == ZONE_EVALUATE)
+        if eval_ids.size:
+            candidates = zone_rows(eval_ids, zones.zone_size, n)
+            matched = candidates[
+                evaluate_pred_at(
+                    state.fact, self.term, candidates, packed=state.packed_for(self.term.columns(), candidates.size)
+                )
+            ]
+        else:
+            candidates = matched = np.empty(0, dtype=np.int64)
+        if state.zone_cache is not None:
+            state.zone_cache.record(
+                skipped=int(np.count_nonzero(cls == ZONE_SKIP)),
+                taken=int(cls.size - eval_ids.size - np.count_nonzero(cls == ZONE_SKIP)),
+                evaluated=int(eval_ids.size),
+                rows_pruned=int(n - take_rows.size - candidates.size),
+            )
+        if not take_rows.size:
+            return matched
+        sel = np.concatenate([matched, take_rows])
+        sel.sort()
+        return sel
+
+    def _refine_selection(self, state: PipelineState, cls: np.ndarray) -> np.ndarray:
+        """Later-conjunct refinement: evaluate only survivors in *evaluate* zones."""
+        sel = state.sel
+        categories = cls[state.zones.zone_of(sel)]
+        keep = categories > 0
+        undecided = categories == 0
+        if undecided.any():
+            subset = sel[undecided]
+            keep[undecided] = evaluate_pred_at(
+                state.fact, self.term, subset, packed=state.packed_for(self.term.columns(), subset.size)
+            )
+        if state.zone_cache is not None:
+            state.zone_cache.record(
+                skipped=int(np.count_nonzero(cls == ZONE_SKIP)),
+                taken=int(np.count_nonzero(cls == ZONE_TAKE)),
+                evaluated=int(np.count_nonzero(cls == ZONE_EVALUATE)),
+                rows_pruned=int(np.count_nonzero(categories < 0)),
+            )
+        return keep
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ScanFilter({self.term})"
@@ -320,14 +445,36 @@ class BuildLookup:
         return self.join.build_key
 
     def build(self, db: Database) -> BuildArtifact:
-        """Scan the dimension and construct the lookup arrays."""
+        """Scan the dimension and construct the lookup arrays.
+
+        With a :class:`~repro.engine.cache.ZoneMapCache` active, the lookup
+        is based at the key column's statistics minimum: ``d_datekey``
+        starts at 19920101, so the compact layout allocates ~65 K slots
+        where the seed layout zero-filled ~20 M.  Probes read
+        ``artifact.key_base``, so compact and seed-layout artifacts mix
+        freely (the shared build cache may hold either).
+        """
         join = self.join
         dimension = db.table(join.dimension)
         dim_mask = evaluate_pred(dimension, join.predicate)
         build_rows = int(np.count_nonzero(dim_mask))
-        lookup, present = build_dimension_lookup(dimension, join.dimension_key, dim_mask, join.payload)
+        base = 0
+        zone_cache = active_zone_maps()
+        if zone_cache is not None:
+            maps = zone_cache.maps(db, dimension)
+            stats = maps.stats(join.dimension_key) if maps is not None else None
+            if stats is not None and stats.low > 0:
+                base = stats.low
+        lookup, present = build_dimension_lookup(
+            dimension, join.dimension_key, dim_mask, join.payload, base=base
+        )
         lookup.setflags(write=False)
         present.setflags(write=False)
+        if build_rows:
+            selected_keys = dimension[join.dimension_key][dim_mask]
+            key_low, key_high = int(selected_keys.min()), int(selected_keys.max())
+        else:
+            key_low, key_high = 0, -1
         build_scan_bytes = float(
             dimension.column(join.dimension_key).nbytes
             + sum(dimension.column(c).nbytes for c in join.predicate.columns())
@@ -341,6 +488,9 @@ class BuildLookup:
             build_scan_bytes=build_scan_bytes,
             lookup=lookup,
             present=present,
+            key_base=base,
+            key_low=key_low,
+            key_high=key_high,
         )
 
     def run(self, state: PipelineState) -> None:
@@ -368,10 +518,28 @@ class ProbeJoin:
     :class:`~repro.engine.plan.JoinStage` (build-side numbers come from the
     consumed :class:`BuildArtifact`, so cached and fresh builds profile
     identically).
+
+    Zone statistics refine the probe two ways, neither of which can change
+    the surviving set: fact zones whose key range cannot intersect the
+    artifact's present keys (``[key_low, key_high]``) are skipped before
+    any key is gathered -- those rows would all miss -- and when the key
+    column's statistics prove every key lands inside the lookup, the
+    range-validity passes are dropped and the probe is one straight gather.
     """
 
     def __init__(self, join: LogicalJoin) -> None:
         self.join = join
+
+    @staticmethod
+    def _hits(artifact: BuildArtifact, keys: np.ndarray, in_range: bool) -> tuple[np.ndarray, np.ndarray]:
+        """Membership of each key in the build, and the lookup slot of each key."""
+        slots = keys - artifact.key_base if artifact.key_base else keys
+        if in_range:
+            return artifact.present[slots], slots
+        valid = (slots >= 0) & (slots < artifact.lookup.shape[0])
+        hit = valid.copy()
+        hit[valid] = artifact.present[slots[valid]]
+        return hit, slots
 
     def run(self, state: PipelineState) -> None:
         join = self.join
@@ -386,23 +554,70 @@ class ProbeJoin:
             )
         )
 
-        # Gather only the surviving rows' keys -- the late-materialization
-        # probe never allocates or masks at fact width once a selection
-        # vector exists (the first probe of an unfiltered query is the one
-        # full-width pass, and it compacts immediately).
-        keys = fact_keys if state.sel is None else fact_keys[state.sel]
-        valid = (keys >= 0) & (keys < artifact.lookup.shape[0])
-        hit = valid.copy()
-        hit[valid] = artifact.present[keys[valid]]
+        stats = state.zones.stats(join.source_key) if state.zones is not None else None
+        in_range = (
+            stats is not None
+            and stats.low >= artifact.key_base
+            and stats.high < artifact.key_base + artifact.lookup.shape[0]
+        )
+        # Fact zones whose key range misses every present key: every row in
+        # them would probe and miss, so they can vanish without a gather.
+        zone_skip = None
+        if stats is not None:
+            skip_mask = (stats.maxs < artifact.key_low) | (stats.mins > artifact.key_high)
+            if skip_mask.any():
+                zone_skip = skip_mask
 
         probe_rows = state.rows_alive
         if state.sel is None:
-            state.sel = np.flatnonzero(hit)
-            state.rows_alive = float(state.sel.size)
-            surviving_keys = keys[state.sel]
+            # The first probe of an unfiltered query is the one full-width
+            # pass, and it compacts immediately.
+            if zone_skip is None:
+                keys = fact_keys
+                hit, slots = self._hits(artifact, keys, in_range)
+                state.sel = np.flatnonzero(hit)
+                state.rows_alive = float(state.sel.size)
+                surviving_slots = slots[state.sel]
+            else:
+                candidates = zone_rows(np.flatnonzero(~zone_skip), state.zones.zone_size, fact.num_rows)
+                keys = fact_keys[candidates]
+                hit, slots = self._hits(artifact, keys, in_range)
+                state.sel = candidates[hit]
+                state.rows_alive = float(state.sel.size)
+                surviving_slots = slots[hit]
+                if state.zone_cache is not None:
+                    state.zone_cache.record(
+                        skipped=int(np.count_nonzero(zone_skip)),
+                        evaluated=int(zone_skip.size - np.count_nonzero(zone_skip)),
+                        rows_pruned=int(fact.num_rows - candidates.size),
+                    )
         else:
-            surviving_keys = keys[hit]
-            state.compact(hit)
+            sel = state.sel
+            entry_skip = None
+            if zone_skip is not None:
+                entry_skip = zone_skip[state.zones.zone_of(sel)]
+                if not entry_skip.any():
+                    entry_skip = None
+            if entry_skip is None:
+                keys = self._gather_keys(state, fact_keys, sel)
+                hit, slots = self._hits(artifact, keys, in_range)
+                surviving_slots = slots[hit]
+                state.compact(hit)
+            else:
+                undecided = np.flatnonzero(~entry_skip)
+                subset = sel[undecided]
+                keys = self._gather_keys(state, fact_keys, subset)
+                hit_subset, slots = self._hits(artifact, keys, in_range)
+                hit = np.zeros(sel.size, dtype=bool)
+                hit[undecided] = hit_subset
+                surviving_slots = slots[hit_subset]
+                state.compact(hit)
+                if state.zone_cache is not None:
+                    state.zone_cache.record(
+                        skipped=int(np.count_nonzero(zone_skip)),
+                        evaluated=int(zone_skip.size - np.count_nonzero(zone_skip)),
+                        rows_pruned=int(sel.size - subset.size),
+                    )
         selectivity = state.rows_alive / probe_rows if probe_rows else 0.0
 
         state.profile.joins.append(
@@ -422,7 +637,21 @@ class ProbeJoin:
         if join.payload is not None:
             # Payload codes materialize at selection-vector width, in the
             # lookup's narrow dtype (lower() guarantees the name is unique).
-            state.group_columns[join.payload] = artifact.lookup[surviving_keys]
+            state.group_columns[join.payload] = artifact.lookup[surviving_slots]
+
+    def _gather_keys(self, state: PipelineState, fact_keys: np.ndarray, sel: np.ndarray) -> np.ndarray:
+        """Surviving rows' keys, read from the packed twin when one exists.
+
+        Selection-vector key gathers are the probe's compressed scan path:
+        a ``<= 16``-bit key column decodes from packed 64-bit words
+        (word-aligned gather + shift/mask) instead of touching 4-byte
+        values.  Full-width first probes stream the plain column -- a
+        sequential scan is already optimal.
+        """
+        packed = state.packed_for((self.join.source_key,), sel.size)
+        if packed is not None:
+            return packed[self.join.source_key].unpack_at(sel)
+        return fact_keys[sel]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProbeJoin({self.join.dimension!r} via {self.join.source_key!r})"
@@ -526,7 +755,7 @@ class PhysicalPlan:
         yield self.aggregate
 
 
-def lower(logical: LogicalPlan) -> PhysicalPlan:
+def lower(logical: LogicalPlan, db: Database | None = None) -> PhysicalPlan:
     """Lower a logical plan to physical operators.
 
     Only single-hop (fact -> dimension) joins lower today.  Snowflake
@@ -534,6 +763,15 @@ def lower(logical: LogicalPlan) -> PhysicalPlan:
     probe-side source table -- so extending this function (build the chain
     bottom-up, probe through the intermediate lookup) is all the multi-fact
     ROADMAP item needs; callers and operators stay unchanged.
+
+    With ``db`` and an active :class:`~repro.engine.cache.ZoneMapCache`,
+    lowering runs the **zone pruning pass**: every top-level conjunct of
+    the fact predicate is folded against the fact table's zone statistics
+    (:meth:`~repro.storage.zonemap.TableZoneMaps.classify`) and the
+    resulting skip / take-all / evaluate classification rides on its
+    :class:`ScanFilter`, which seeds the selection vector zone-granularly.
+    Without ``db`` (or with no cache active) the plan is identical to the
+    PR 4 selection-vector plane.
     """
     payloads: set[str] = set()
     for join in logical.joins:
@@ -555,18 +793,25 @@ def lower(logical: LogicalPlan) -> PhysicalPlan:
                     f"query {logical.query.name!r}; payload names must be unique"
                 )
             payloads.add(join.payload)
+    filters = tuple(ScanFilter(term) for term in conjuncts(logical.predicate))
+    zone_cache = active_zone_maps()
+    if db is not None and zone_cache is not None and logical.fact in db:
+        maps = zone_cache.maps(db, db.table(logical.fact))
+        if maps is not None:
+            for scan in filters:
+                scan.zone_cls = maps.classify(scan.term)
     return PhysicalPlan(
         logical=logical,
-        filters=tuple(ScanFilter(term) for term in conjuncts(logical.predicate)),
+        filters=filters,
         builds=tuple(BuildLookup(join) for join in logical.joins),
         probes=tuple(ProbeJoin(join) for join in logical.joins),
         aggregate=Aggregate(logical.group_by, logical.aggregate),
     )
 
 
-def lower_query(query: SSBQuery) -> PhysicalPlan:
+def lower_query(query: SSBQuery, db: Database | None = None) -> PhysicalPlan:
     """Normalize and lower a declarative query spec in one step."""
-    return lower(LogicalPlan.from_query(query))
+    return lower(LogicalPlan.from_query(query), db)
 
 
 def staged_builds(plans: Iterable[PhysicalPlan]) -> list[BuildLookup]:
@@ -617,6 +862,8 @@ def execute_physical(
         build_cache = active_build_cache()
     fact = db.table(plan.logical.fact)
     n = fact.num_rows
+    zone_cache = active_zone_maps()
+    zones = zone_cache.maps(db, fact) if zone_cache is not None else None
     state = PipelineState(
         db=db,
         fact=fact,
@@ -624,6 +871,8 @@ def execute_physical(
         profile=QueryProfile(query=plan.logical.query.name, fact_rows=n, fact_filter_selectivity=1.0),
         build_cache=build_cache,
         rows_alive=float(n),
+        zones=zones,
+        zone_cache=zone_cache if zones is not None else None,
     )
 
     for scan in plan.filters:

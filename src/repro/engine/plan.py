@@ -133,7 +133,9 @@ def narrowest_signed_dtype(low: int, high: int) -> np.dtype:
     raise OverflowError(f"payload range [{low}, {high}] exceeds int64")
 
 
-def build_dimension_lookup(dimension: Table, key_column: str, mask: np.ndarray, payload_column: str | None):
+def build_dimension_lookup(
+    dimension: Table, key_column: str, mask: np.ndarray, payload_column: str | None, base: int = 0
+):
     """Build a dense key -> payload lookup for a (filtered) dimension.
 
     Dimension keys in SSB are dense integers, so a perfect-hash array is both
@@ -146,9 +148,17 @@ def build_dimension_lookup(dimension: Table, key_column: str, mask: np.ndarray, 
     selected payload values (the paper stores everything as 4-byte values;
     most SSB payloads -- years, dictionary codes of small domains -- fit in
     one or two bytes), so probes gather and carry small codes, not int64.
+
+    ``base`` offsets the arrays: slot ``i`` answers key ``base + i``.  The
+    zone-map plane passes the key column's statistics minimum so date-style
+    keys (``d_datekey`` starts at 19920101) index a ~65 K-entry array
+    instead of a ~20 M-entry one; probes subtract the artifact's base before
+    gathering.  The default keeps the seed layout (keys index from 0).
     """
     keys = dimension[key_column]
     max_key = int(keys.max()) if keys.shape[0] else 0
+    if base and keys.shape[0] == 0:
+        base = 0
     selected = np.flatnonzero(mask)
     if payload_column is not None and selected.size:
         payload = dimension[payload_column]
@@ -158,10 +168,11 @@ def build_dimension_lookup(dimension: Table, key_column: str, mask: np.ndarray, 
         payload = np.zeros(keys.shape[0], dtype=np.int8)
         chosen = payload[selected]
         dtype = np.dtype(np.int8)
-    lookup = np.zeros(max_key + 1, dtype=dtype)
-    present = np.zeros(max_key + 1, dtype=bool)
-    lookup[keys[selected]] = chosen.astype(dtype)
-    present[keys[selected]] = True
+    lookup = np.zeros(max_key + 1 - base, dtype=dtype)
+    present = np.zeros(max_key + 1 - base, dtype=bool)
+    slots = keys[selected] - base if base else keys[selected]
+    lookup[slots] = chosen.astype(dtype)
+    present[slots] = True
     return lookup, present
 
 
@@ -347,7 +358,9 @@ def _execute_query_uncached(db: Database, query: SSBQuery) -> tuple[object, Quer
     # and helpers, so a top-level import would be circular.
     from repro.engine.physical import execute_physical, lower_query
 
-    return execute_physical(db, lower_query(query))
+    # Lowering sees the database so the zone-map pruning pass (when a
+    # ZoneMapCache is active) can classify zones per filter term.
+    return execute_physical(db, lower_query(query, db))
 
 
 def execute_query_monolithic(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:

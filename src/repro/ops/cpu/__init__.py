@@ -19,7 +19,7 @@ from repro.ops.cpu.project import cpu_project
 from repro.ops.cpu.radix_join import cpu_radix_join
 from repro.ops.cpu.radix_partition import cpu_radix_partition
 from repro.ops.cpu.radix_sort import cpu_radix_sort
-from repro.ops.cpu.select import cpu_select, cpu_select_pred
+from repro.ops.cpu.select import cpu_gather_packed, cpu_select, cpu_select_pred
 
 __all__ = [
     "cpu_group_by_aggregate",
@@ -29,6 +29,7 @@ __all__ = [
     "cpu_radix_join",
     "cpu_radix_partition",
     "cpu_radix_sort",
+    "cpu_gather_packed",
     "cpu_select",
     "cpu_select_pred",
 ]

@@ -17,7 +17,12 @@ from repro.ops.gpu.project import gpu_project
 from repro.ops.gpu.radix_join import gpu_radix_join
 from repro.ops.gpu.radix_partition import gpu_radix_partition
 from repro.ops.gpu.radix_sort import gpu_radix_sort
-from repro.ops.gpu.select import gpu_select, gpu_select_independent_threads, gpu_select_pred
+from repro.ops.gpu.select import (
+    gpu_gather_packed,
+    gpu_select,
+    gpu_select_independent_threads,
+    gpu_select_pred,
+)
 
 __all__ = [
     "gpu_group_by_aggregate",
@@ -27,6 +32,7 @@ __all__ = [
     "gpu_radix_join",
     "gpu_radix_partition",
     "gpu_radix_sort",
+    "gpu_gather_packed",
     "gpu_select",
     "gpu_select_independent_threads",
     "gpu_select_pred",

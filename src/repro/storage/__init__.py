@@ -15,4 +15,18 @@ from repro.storage.database import Database
 from repro.storage.dictionary import DictionaryEncoder
 from repro.storage.table import Table
 
-__all__ = ["BitPackedColumn", "Column", "Database", "DictionaryEncoder", "Table"]
+# Imported last: zonemap folds predicate trees, so it pulls in
+# repro.ssb.queries, whose package neighbours import this package's names
+# above -- keeping this import at the tail keeps the cycle harmless.
+from repro.storage.zonemap import ColumnZoneStats, TableZoneMaps, cluster_by  # noqa: E402
+
+__all__ = [
+    "BitPackedColumn",
+    "Column",
+    "ColumnZoneStats",
+    "Database",
+    "DictionaryEncoder",
+    "Table",
+    "TableZoneMaps",
+    "cluster_by",
+]

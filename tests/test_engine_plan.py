@@ -150,3 +150,137 @@ class TestExecuteQuery:
                 assert all(v >= 0 for v in value.values())
             else:
                 assert value >= 0
+
+
+class TestNarrowestSignedDtype:
+    """Signed-boundary edge cases: the payload dtype picker must not fall
+    over exactly where a narrower type stops fitting."""
+
+    def test_int8_boundaries(self):
+        from repro.engine.plan import narrowest_signed_dtype
+
+        assert narrowest_signed_dtype(0, 127) == np.int8
+        assert narrowest_signed_dtype(0, 128) == np.int16
+        assert narrowest_signed_dtype(-128, 127) == np.int8
+        assert narrowest_signed_dtype(-129, 0) == np.int16
+
+    def test_int16_boundaries(self):
+        from repro.engine.plan import narrowest_signed_dtype
+
+        assert narrowest_signed_dtype(0, 32767) == np.int16
+        assert narrowest_signed_dtype(0, 32768) == np.int32
+        assert narrowest_signed_dtype(-32768, 32767) == np.int16
+        assert narrowest_signed_dtype(-32769, 0) == np.int32
+
+    def test_int32_and_int64_boundaries(self):
+        from repro.engine.plan import narrowest_signed_dtype
+
+        assert narrowest_signed_dtype(0, 2**31 - 1) == np.int32
+        assert narrowest_signed_dtype(0, 2**31) == np.int64
+        assert narrowest_signed_dtype(-(2**63), 2**63 - 1) == np.int64
+
+    def test_negative_lows_drive_widening(self):
+        from repro.engine.plan import narrowest_signed_dtype
+
+        # A tiny high does not save a wide negative low.
+        assert narrowest_signed_dtype(-1000, 1) == np.int16
+        assert narrowest_signed_dtype(-(2**40), 0) == np.int64
+
+    def test_overflow_rejected(self):
+        from repro.engine.plan import narrowest_signed_dtype
+
+        with pytest.raises(OverflowError):
+            narrowest_signed_dtype(0, 2**63)
+        with pytest.raises(OverflowError):
+            narrowest_signed_dtype(-(2**63) - 1, 0)
+
+
+class TestBuildDimensionLookupDtype:
+    """The dtype (and layout) build_dimension_lookup actually chooses."""
+
+    def _dimension(self, payload_values):
+        payload = np.asarray(payload_values)
+        return Table.from_arrays(
+            "dim",
+            {
+                "key": np.arange(payload.shape[0], dtype=np.int32),
+                "payload": payload,
+            },
+        )
+
+    @pytest.mark.parametrize(
+        "high, expected",
+        [(127, np.int8), (128, np.int16), (32767, np.int16), (32768, np.int32)],
+    )
+    def test_payload_boundary_dtypes(self, high, expected):
+        from repro.engine.plan import build_dimension_lookup
+
+        dim = self._dimension(np.array([0, high], dtype=np.int64))
+        lookup, present = build_dimension_lookup(dim, "key", np.ones(2, dtype=bool), "payload")
+        assert lookup.dtype == expected
+        assert present.all()
+        assert lookup[1] == high
+
+    def test_negative_payloads_round_trip(self):
+        from repro.engine.plan import build_dimension_lookup
+
+        dim = self._dimension(np.array([-5, -120, 7], dtype=np.int64))
+        lookup, present = build_dimension_lookup(dim, "key", np.ones(3, dtype=bool), "payload")
+        assert lookup.dtype == np.int8
+        np.testing.assert_array_equal(lookup, [-5, -120, 7])
+
+    def test_filtered_values_do_not_widen(self):
+        """Only *selected* payload values matter for the dtype."""
+        from repro.engine.plan import build_dimension_lookup
+
+        dim = self._dimension(np.array([1, 2, 1_000_000], dtype=np.int64))
+        mask = np.array([True, True, False])
+        lookup, present = build_dimension_lookup(dim, "key", mask, "payload")
+        assert lookup.dtype == np.int8
+        assert not present[2]
+
+    def test_no_payload_is_one_byte(self):
+        from repro.engine.plan import build_dimension_lookup
+
+        dim = self._dimension(np.array([9, 9, 9], dtype=np.int64))
+        lookup, present = build_dimension_lookup(dim, "key", np.ones(3, dtype=bool), None)
+        assert lookup.dtype == np.int8
+
+    def test_base_offsets_the_layout(self):
+        from repro.engine.plan import build_dimension_lookup
+
+        keys = np.array([1000, 1001, 1005], dtype=np.int32)
+        dim = Table.from_arrays(
+            "dim", {"key": keys, "payload": np.array([7, 8, 9], dtype=np.int32)}
+        )
+        dense_lookup, dense_present = build_dimension_lookup(
+            dim, "key", np.ones(3, dtype=bool), "payload"
+        )
+        compact_lookup, compact_present = build_dimension_lookup(
+            dim, "key", np.ones(3, dtype=bool), "payload", base=1000
+        )
+        assert dense_lookup.shape[0] == 1006
+        assert compact_lookup.shape[0] == 6
+        np.testing.assert_array_equal(
+            np.flatnonzero(dense_present), np.flatnonzero(compact_present) + 1000
+        )
+        np.testing.assert_array_equal(
+            dense_lookup[np.flatnonzero(dense_present)],
+            compact_lookup[np.flatnonzero(compact_present)],
+        )
+
+    def test_empty_dimension_ignores_base(self):
+        from repro.engine.plan import build_dimension_lookup
+
+        dim = Table.from_arrays(
+            "dim",
+            {
+                "key": np.array([], dtype=np.int32),
+                "payload": np.array([], dtype=np.int32),
+            },
+        )
+        lookup, present = build_dimension_lookup(
+            dim, "key", np.zeros(0, dtype=bool), "payload", base=500
+        )
+        assert lookup.shape == present.shape == (1,)
+        assert not present.any()

@@ -148,3 +148,75 @@ class TestSelectionVectorRefinement:
         result = cpu_select_pred(table, BAND, sel=sel)
         assert result.value.size == 0
         assert result.stats["selectivity"] == 0.0
+
+
+class TestPackedScanPath:
+    """Compressed scans: identical selection vectors, fewer charged bytes."""
+
+    @pytest.fixture(scope="class")
+    def packed(self, table):
+        from repro.storage import BitPackedColumn
+
+        return {
+            "x": BitPackedColumn.pack(table.column("x")),  # 0..99: 7 bits
+            "y": BitPackedColumn.pack(table.column("y")),  # 0..49: 6 bits
+        }
+
+    @pytest.mark.parametrize("pred", [BAND, BRANCHY, MIXED], ids=["band", "branchy", "mixed"])
+    def test_cpu_values_identical(self, table, packed, pred):
+        plain = cpu_select_pred(table, pred)
+        compressed = cpu_select_pred(table, pred, packed=packed)
+        np.testing.assert_array_equal(plain.value, compressed.value)
+
+    @pytest.mark.parametrize("pred", [BAND, BRANCHY, MIXED], ids=["band", "branchy", "mixed"])
+    def test_gpu_values_identical(self, table, packed, pred):
+        plain = gpu_select_pred(table, pred)
+        compressed = gpu_select_pred(table, pred, packed=packed)
+        np.testing.assert_array_equal(plain.value, compressed.value)
+
+    def test_full_scan_charges_packed_bytes(self, table, packed):
+        n = table.num_rows
+        compressed = cpu_select_pred(table, BAND, packed=packed)
+        assert compressed.stats["scan_bytes"] == float(np.ceil(n * 7 / 8))
+        plain = cpu_select_pred(table, BAND)
+        assert plain.stats["scan_bytes"] == float(n * 4)
+        assert compressed.stats["packed_columns"] == 1.0
+
+    def test_gather_charges_bits_not_lines(self, table, packed):
+        sel = np.arange(0, table.num_rows, 97, dtype=np.int64)
+        compressed = cpu_select_pred(table, BAND, sel=sel, packed=packed)
+        assert compressed.stats["scan_bytes"] == float(np.ceil(sel.size * 7 / 8))
+        plain = cpu_select_pred(table, BAND, sel=sel)
+        assert plain.stats["scan_bytes"] == float(min(table.num_rows * 4, sel.size * 64))
+        np.testing.assert_array_equal(plain.value, compressed.value)
+
+    def test_packed_charge_never_exceeds_packed_column(self, table, packed):
+        """A near-full gather caps at the whole packed column's bytes."""
+        sel = np.arange(table.num_rows, dtype=np.int64)
+        compressed = cpu_select_pred(table, BAND, sel=sel, packed=packed)
+        assert compressed.stats["scan_bytes"] <= packed["x"].packed_bytes
+
+    def test_decode_ops_are_charged(self, table, packed):
+        plain = cpu_select_pred(table, BAND)
+        compressed = cpu_select_pred(table, BAND, packed=packed)
+        assert compressed.traffic.compute_ops > plain.traffic.compute_ops
+
+    def test_gpu_full_scan_charges_packed_bytes(self, table, packed):
+        compressed = gpu_select_pred(table, BAND, packed=packed)
+        assert compressed.stats["scan_bytes"] == float(np.ceil(table.num_rows * 7 / 8))
+
+    def test_cpu_gather_kernel_round_trips(self, table, packed):
+        from repro.ops.cpu import cpu_gather_packed
+
+        sel = np.arange(3, table.num_rows, 53, dtype=np.int64)
+        result = cpu_gather_packed(packed["y"], sel)
+        np.testing.assert_array_equal(result.value, table["y"][sel])
+        assert result.traffic.sequential_read_bytes >= np.ceil(sel.size * 6 / 8)
+
+    def test_gpu_gather_kernel_round_trips(self, table, packed):
+        from repro.ops.gpu import gpu_gather_packed
+
+        sel = np.arange(0, table.num_rows, 11, dtype=np.int64)
+        result = gpu_gather_packed(packed["y"], sel)
+        np.testing.assert_array_equal(result.value, table["y"][sel])
+        assert result.stats["bit_width"] == 6.0
