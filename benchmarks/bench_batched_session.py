@@ -25,9 +25,8 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
 
-from bench_util import write_json_atomic
+from bench_util import time_best, write_json_atomic
 from repro.api import Session
 from repro.engine.physical import lower_query
 from repro.ssb.generator import generate_ssb
@@ -50,16 +49,18 @@ def run_batched_comparison(
     queries = [QUERIES[name] for name in QUERY_ORDER]
 
     def timed(share_builds: bool) -> tuple[float, Session, list]:
-        best = float("inf")
-        session = results = None
-        for _ in range(repeats):
+        state: dict = {}
+
+        def once():
             # Fresh session each repeat: the execution memo must not let
-            # later repeats replay the first one's answers.
-            session = Session(db, cache=False)
-            start = time.perf_counter()
-            results = session.run_many(queries, engine=engine, share_builds=share_builds)
-            best = min(best, time.perf_counter() - start)
-        return best, session, results
+            # later repeats replay the first one's answers.  Construction
+            # is a few empty-cache allocations -- noise next to the batch,
+            # and identical on both sides of the comparison.
+            state["session"] = session = Session(db, cache=False)
+            state["results"] = session.run_many(queries, engine=engine, share_builds=share_builds)
+
+        best = time_best(once, repeats)
+        return best, state["session"], state["results"]
 
     serial_s, _, serial_results = timed(share_builds=False)
     shared_s, shared_session, shared_results = timed(share_builds=True)

@@ -25,11 +25,10 @@ Run standalone (CI smoke uses the defaults)::
 from __future__ import annotations
 
 import argparse
-import time
 
 import numpy as np
 
-from bench_util import write_json_atomic
+from bench_util import time_best, write_json_atomic
 from repro.api import Session
 from repro.engine.physical import lower_query
 from repro.engine.plan import execute_query, execute_query_monolithic, factorize_group_keys
@@ -39,15 +38,6 @@ from repro.ssb.queries import QUERIES, QUERY_ORDER
 DEFAULT_SCALE_FACTOR = 0.05
 DEFAULT_ENGINE = "cpu"
 DEFAULT_WORKERS = 4
-
-
-def _best_of(fn, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def bench_selection_vectors(db, queries, repeats: int) -> dict:
@@ -60,8 +50,8 @@ def bench_selection_vectors(db, queries, repeats: int) -> dict:
         if mask_value != sel_value or mask_profile != sel_profile:
             raise AssertionError(f"data planes diverged on {query.name}")
 
-    mask_s = _best_of(lambda: [execute_query_monolithic(db, q) for q in queries], repeats)
-    sel_s = _best_of(lambda: [execute_query(db, q) for q in queries], repeats)
+    mask_s = time_best(lambda: [execute_query_monolithic(db, q) for q in queries], repeats)
+    sel_s = time_best(lambda: [execute_query(db, q) for q in queries], repeats)
     return {
         "queries": len(queries),
         "mask_wall_s": mask_s,
@@ -87,10 +77,10 @@ def bench_packed_aggregation(scale_factor: float, repeats: int, seed: int) -> di
     out = {"rows": rows, "cases": {}}
     for name, key_arrays in shapes.items():
         stacked = np.stack([a.astype(np.int64) for a in key_arrays], axis=1)
-        unique_s = _best_of(
+        unique_s = time_best(
             lambda stacked=stacked: np.unique(stacked, axis=0, return_inverse=True), repeats
         )
-        packed_s = _best_of(
+        packed_s = time_best(
             lambda key_arrays=key_arrays: factorize_group_keys(key_arrays), repeats
         )
         ref_unique, ref_inverse = np.unique(stacked, axis=0, return_inverse=True)
@@ -114,16 +104,18 @@ def bench_batch_execution(db, queries, engine: str, workers: int, repeats: int) 
     batch = queries * 2
 
     def timed(**kwargs) -> tuple[float, Session]:
-        best = float("inf")
-        session = None
-        for _ in range(repeats):
+        state: dict = {}
+
+        def once():
             # Fresh session each repeat: the execution memo must not let
-            # later repeats replay the first one's answers.
-            session = Session(db, cache=False)
-            start = time.perf_counter()
-            session.run_many(batch, engine=engine, **kwargs)
-            best = min(best, time.perf_counter() - start)
-        return best, session
+            # later repeats replay the first one's answers.  Construction
+            # is a few empty-cache allocations -- noise next to the batch,
+            # and identical on every side of the comparison.
+            state["session"] = Session(db, cache=False)
+            state["session"].run_many(batch, engine=engine, **kwargs)
+
+        best = time_best(once, repeats)
+        return best, state["session"]
 
     serial_s, _ = timed()
     shared_s, _ = timed(share_builds=True)

@@ -1,0 +1,289 @@
+"""Tail-latency SLOs for the concurrent query service, below and above saturation.
+
+Drives the :class:`~repro.service.QueryService` with the
+:class:`~repro.workload.WorkloadDriver` at two calibrated request rates and
+writes ``BENCH_service.json`` plus the Locust-style ``run_table.csv``:
+
+1. **Calibrate** -- each class of the mix (the 13 canonical SSB queries plus
+   one ad-hoc builder query) is answered once through the service and once
+   directly through ``Session.run``; the answers must match exactly (the
+   service adds scheduling, never execution semantics).  The warm serial
+   mean latency then anchors the two operating points: *below* saturation
+   at ``0.4x`` the single-stream capacity ``1 / mean``, *above* at
+   ``max(3, 1.5 x max_inflight)`` times it -- past capacity even if the
+   worker pool scaled perfectly.
+2. **Below saturation** -- open-loop Poisson replay.  Every request must be
+   admitted and answered: zero rejections, zero timeouts, zero errors.
+3. **Above saturation** -- same mix, ~7x the rate, against a small bounded
+   queue.  Overload must degrade *gracefully*: admission control rejects
+   with typed :class:`~repro.service.OverloadError` (``rejected > 0``),
+   nothing errors, and the requests that were admitted still answer inside
+   the SLO -- by default ``margin x (queue_depth + max_inflight) x mean``,
+   the drain time of a full queue through a GIL-serialized pool, which is
+   exactly what a bounded queue is for: the queue caps the tail, the
+   rejections absorb the excess.
+
+Run standalone (CI smoke uses SF 0.01 and a p99 sanity floor)::
+
+    PYTHONPATH=src python benchmarks/bench_service_slo.py --scale-factor 0.01
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from bench_util import time_best, write_json_atomic
+from repro.api import Q, Session
+from repro.service import QueryService
+from repro.ssb.generator import generate_ssb
+from repro.workload import QueryClass, WorkloadDriver, WorkloadSpec
+from repro.workload.report import ALL_CLASSES, write_run_table
+
+DEFAULT_SCALE_FACTOR = 0.01
+DEFAULT_ENGINE = "cpu"
+DEFAULT_MAX_INFLIGHT = 2
+DEFAULT_QUEUE_DEPTH = 8
+DEFAULT_SLO_MARGIN = 5.0
+
+#: The ad-hoc class replayed next to the 13 canonical queries: exercises the
+#: builder path through the service, not just the frozen SSB specs.
+ADHOC_NAME = "adhoc_q"
+
+
+def adhoc_query():
+    return (
+        Q("lineorder")
+        .filter("lo_discount", "between", (4, 6))
+        .join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+        .group_by("d_year")
+        .agg("count")
+    )
+
+
+def build_spec(args, target_rps: float, warmup: bool = True) -> WorkloadSpec:
+    return WorkloadSpec.ssb_mix(
+        extra=(QueryClass(ADHOC_NAME, adhoc_query()),),
+        arrival="poisson",
+        target_rps=target_rps,
+        duration_s=args.duration,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        engine=args.engine,
+        warmup=warmup,
+    )
+
+
+def calibrate(session: Session, spec: WorkloadSpec, engine: str, repeats: int = 3) -> dict:
+    """Differential check + warm serial mean latency per request.
+
+    Runs every class through a one-request-at-a-time service and directly
+    through the session; identical answers are a precondition for trusting
+    anything timed afterwards.  The serial mean over the whole mix is the
+    capacity anchor: one stream answers ``1 / mean`` requests per second.
+    """
+
+    async def through_service() -> dict:
+        values = {}
+        async with QueryService(
+            session, engine=engine, max_inflight=1, max_queue_depth=len(spec.classes)
+        ) as service:
+            for qclass in spec.classes:
+                submitted = await service.submit(qclass.query, class_tag=qclass.name, timeout=None)
+                values[qclass.name] = submitted.result
+        return values
+
+    served = asyncio.run(through_service())
+    for qclass in spec.classes:
+        direct = session.run(qclass.query, engine=engine)
+        answer = served[qclass.name]
+        if answer.value != direct.value or answer.simulated_ms != direct.simulated_ms:
+            raise AssertionError(
+                f"service answer diverged from Session.run on class {qclass.name!r}"
+            )
+
+    queries = [qclass.query for qclass in spec.classes]
+    mix_s = time_best(lambda: [session.run(q, engine=engine) for q in queries], repeats)
+    mean_s = mix_s / len(queries)
+    return {
+        "classes": len(queries),
+        "differential_ok": True,
+        "mix_wall_s": mix_s,
+        "mean_request_s": mean_s,
+        "serial_capacity_rps": 1.0 / mean_s,
+    }
+
+
+def summarize_run(report) -> dict:
+    """The per-run payload for ``BENCH_service.json``."""
+    summary = report.summary()
+    aggregate = summary["classes"][ALL_CLASSES]
+    return {
+        "target_rps": report.spec.target_rps,
+        "aggregate": aggregate,
+        "per_class": {
+            tag: entry for tag, entry in summary["classes"].items() if tag != ALL_CLASSES
+        },
+        "service": [result.service for result in report.repetitions],
+        "errors": list(report.errors),
+    }
+
+
+def run_slo_benchmark(args) -> tuple[dict, list, list]:
+    """Calibrate, replay both operating points, evaluate the SLO checks.
+
+    Returns ``(report_payload, run_table_rows, failures)`` -- artifacts are
+    always written in full so a red CI run still carries the evidence.
+    """
+    db = generate_ssb(scale_factor=args.scale_factor, seed=args.seed)
+    # cache=False: the execution memo would answer every repeated class from
+    # memory and the "load" would be a memo lookup.  Build artifacts and
+    # zone maps stay shared -- that is the warm-server situation.
+    session = Session(db, cache=False)
+
+    spec_probe = build_spec(args, target_rps=1.0)
+    cal = calibrate(session, spec_probe, args.engine)
+    capacity = cal["serial_capacity_rps"]
+    below_rps = args.below_rps if args.below_rps else 0.4 * capacity
+    above_factor = max(3.0, 1.5 * args.max_inflight)
+    above_rps = args.above_rps if args.above_rps else above_factor * capacity
+    slo_ms = (
+        args.slo_ms
+        if args.slo_ms
+        else args.slo_margin
+        * (args.queue_depth + args.max_inflight)
+        * cal["mean_request_s"]
+        * 1e3
+    )
+
+    service_config = {
+        "max_inflight": args.max_inflight,
+        "max_queue_depth": args.queue_depth,
+        "overload": "reject",
+    }
+    below_report = WorkloadDriver(
+        session, build_spec(args, target_rps=below_rps), service_config=service_config
+    ).run(run="below_saturation")
+    above_report = WorkloadDriver(
+        session, build_spec(args, target_rps=above_rps), service_config=service_config
+    ).run(run="above_saturation")
+
+    failures: list[str] = []
+
+    def check(name: str, ok: bool, detail: str) -> dict:
+        if not ok:
+            failures.append(f"{name}: {detail}")
+        return {"ok": ok, "detail": detail}
+
+    below = summarize_run(below_report)
+    above = summarize_run(above_report)
+    below_agg = below["aggregate"]
+    above_agg = above["aggregate"]
+
+    refused_below = (
+        below_agg["rejected"] + below_agg["shed"] + below_agg["timed_out"] + below_agg["failed"]
+    )
+    above_p99_max = above_agg["p99_ms"]["max"] if above_agg["p99_ms"] else float("inf")
+    below_p99_mean = below_agg["p99_ms"]["mean"] if below_agg["p99_ms"] else 0.0
+    checks = {
+        "below_all_admitted": check(
+            "below_all_admitted",
+            refused_below == 0 and not below["errors"],
+            f"{refused_below} refused/failed of {below_agg['requests']} at "
+            f"{below_rps:.0f} rps (errors: {below['errors'] or 'none'})",
+        ),
+        "above_rejects_cleanly": check(
+            "above_rejects_cleanly",
+            above_agg["rejected"] > 0 and above_agg["failed"] == 0 and not above["errors"],
+            f"{above_agg['rejected']} rejected, {above_agg['failed']} failed of "
+            f"{above_agg['requests']} at {above_rps:.0f} rps",
+        ),
+        "above_admitted_within_slo": check(
+            "above_admitted_within_slo",
+            above_p99_max <= slo_ms,
+            f"admitted p99 {above_p99_max:.1f}ms vs SLO {slo_ms:.1f}ms",
+        ),
+    }
+    if args.min_p99_ms is not None:
+        checks["p99_sanity_floor"] = check(
+            "p99_sanity_floor",
+            below_p99_mean >= args.min_p99_ms,
+            f"below-saturation p99 {below_p99_mean:.3f}ms vs floor {args.min_p99_ms}ms "
+            "(a lower value means the clock is not measuring real work)",
+        )
+
+    payload = {
+        "scale_factor": args.scale_factor,
+        "engine": args.engine,
+        "duration_s": args.duration,
+        "repetitions": args.repetitions,
+        "seed": args.seed,
+        "service": service_config,
+        "calibration": cal,
+        "slo_ms": slo_ms,
+        "below_saturation": below,
+        "above_saturation": above,
+        "checks": checks,
+    }
+    rows = below_report.rows() + above_report.rows()
+    return payload, rows, failures
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale-factor", type=float, default=DEFAULT_SCALE_FACTOR)
+    parser.add_argument("--engine", default=DEFAULT_ENGINE)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--duration", type=float, default=1.5, help="seconds per repetition")
+    parser.add_argument("--repetitions", type=int, default=2)
+    parser.add_argument("--max-inflight", type=int, default=DEFAULT_MAX_INFLIGHT)
+    parser.add_argument("--queue-depth", type=int, default=DEFAULT_QUEUE_DEPTH)
+    parser.add_argument(
+        "--below-rps", type=float, default=None, help="override the calibrated below-saturation rate"
+    )
+    parser.add_argument(
+        "--above-rps", type=float, default=None, help="override the calibrated above-saturation rate"
+    )
+    parser.add_argument(
+        "--slo-ms", type=float, default=None, help="override the derived admitted-p99 SLO"
+    )
+    parser.add_argument("--slo-margin", type=float, default=DEFAULT_SLO_MARGIN)
+    parser.add_argument(
+        "--min-p99-ms",
+        type=float,
+        default=None,
+        help="fail if the below-saturation p99 lands under this floor (clock sanity)",
+    )
+    parser.add_argument("--output", default="BENCH_service.json")
+    parser.add_argument("--run-table", default="run_table.csv")
+    args = parser.parse_args(argv)
+
+    payload, rows, failures = run_slo_benchmark(args)
+    write_json_atomic(args.output, payload)
+    write_run_table(args.run_table, rows)
+
+    cal = payload["calibration"]
+    below = payload["below_saturation"]
+    above = payload["above_saturation"]
+    print(f"wrote {args.output} and {args.run_table} (scale factor {args.scale_factor})")
+    print(
+        f"  calibration : {cal['mean_request_s'] * 1e3:.2f} ms/request serial, "
+        f"capacity ~{cal['serial_capacity_rps']:.0f} rps, SLO {payload['slo_ms']:.1f} ms"
+    )
+    for name, run in (("below", below), ("above", above)):
+        agg = run["aggregate"]
+        p99 = agg["p99_ms"]["mean"] if agg["p99_ms"] else float("nan")
+        print(
+            f"  {name:<5} @ {run['target_rps']:7.1f} rps: {agg['requests']} requests, "
+            f"{agg['completed']} ok, {agg['rejected']} rejected, {agg['failed']} failed, "
+            f"p99 {p99:.1f} ms, {agg['throughput_rps']['mean']:.1f} rps served"
+        )
+    for name, entry in payload["checks"].items():
+        print(f"  [{'PASS' if entry['ok'] else 'FAIL'}] {name}: {entry['detail']}")
+
+    if failures:
+        raise SystemExit("SLO benchmark failed:\n  " + "\n  ".join(failures))
+
+
+if __name__ == "__main__":
+    main()

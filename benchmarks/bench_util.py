@@ -5,6 +5,26 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
+from typing import Callable
+
+
+def time_best(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn()``.
+
+    The standard measurement loop of every benchmark here: call the
+    zero-argument closure ``repeats`` times and keep the minimum
+    :func:`time.perf_counter` delta -- the run least disturbed by the
+    machine, which is the stable statistic for before/after comparisons.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def write_json_atomic(path: str, payload: dict, **json_kwargs) -> None:

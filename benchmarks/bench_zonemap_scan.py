@@ -30,11 +30,10 @@ Run standalone (CI smoke uses SF 0.01 and enforces ``--min-speedup``)::
 from __future__ import annotations
 
 import argparse
-import time
 
 import numpy as np
 
-from bench_util import write_json_atomic
+from bench_util import time_best, write_json_atomic
 from repro.api import Session, col
 from repro.engine.cache import ZoneMapCache, activate_zones
 from repro.engine.plan import execute_query, execute_query_monolithic
@@ -51,15 +50,6 @@ FLIGHTS = {
     flight: [name for name in QUERY_ORDER if QUERIES[name].flight == flight]
     for flight in sorted({query.flight for query in QUERIES.values()})
 }
-
-
-def _best_of(fn, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def bench_batch(db: Database, queries, repeats: int) -> dict:
@@ -82,21 +72,21 @@ def bench_batch(db: Database, queries, repeats: int) -> dict:
 
     per_query = {}
     for query in queries:
-        base_s = _best_of(lambda query=query: execute_query(db, query), repeats)
+        base_s = time_best(lambda query=query: execute_query(db, query), repeats)
 
         def pruned_once(query=query):
             with activate_zones(zone_cache):
                 execute_query(db, query)
 
-        zone_s = _best_of(pruned_once, repeats)
+        zone_s = time_best(pruned_once, repeats)
         per_query[query.name] = {
             "baseline_ms": base_s * 1e3,
             "pruned_ms": zone_s * 1e3,
             "speedup": base_s / zone_s if zone_s else float("inf"),
         }
 
-    baseline_s = _best_of(run_baseline, repeats)
-    pruned_s = _best_of(run_pruned, repeats)
+    baseline_s = time_best(run_baseline, repeats)
+    pruned_s = time_best(run_pruned, repeats)
     return {
         "queries": len(queries),
         "baseline_wall_s": baseline_s,

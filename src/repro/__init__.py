@@ -71,7 +71,15 @@ from repro.engine import (
     QueryResult,
     lower_query,
 )
+from repro.service import (
+    OverloadError,
+    QueryService,
+    QueryTimeoutError,
+    RequestTrace,
+    ServiceResult,
+)
 from repro.ssb import QUERIES, And, FilterSpec, Not, Or, Pred, SSBQuery, generate_ssb
+from repro.workload import QueryClass, WorkloadDriver, WorkloadReport, WorkloadSpec
 
 __all__ = [
     "And",
@@ -87,16 +95,25 @@ __all__ = [
     "Not",
     "OmnisciLikeEngine",
     "Or",
+    "OverloadError",
     "PhysicalPlan",
     "Pred",
     "Q",
     "QUERIES",
     "QueryBuilder",
+    "QueryClass",
     "QueryResult",
+    "QueryService",
+    "QueryTimeoutError",
     "QueryValidationError",
+    "RequestTrace",
     "ResultSet",
     "SSBQuery",
+    "ServiceResult",
     "Session",
+    "WorkloadDriver",
+    "WorkloadReport",
+    "WorkloadSpec",
     "available_engines",
     "col",
     "generate_ssb",

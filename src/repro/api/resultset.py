@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from typing import Iterator
+
+import numpy as np
 
 from repro.engine.result import QueryResult
 from repro.ssb.queries import SSBQuery
@@ -182,6 +185,21 @@ class ResultSet:
                 handle.write(text)
         return text
 
+    def to_json(self, path: "str | None" = None, *, indent: "int | None" = None) -> str:
+        """The decoded table as records-orientation JSON text.
+
+        One object per output row, keyed by :attr:`columns` with decoded
+        labels -- the shape ``json.loads`` round-trips straight back into
+        :meth:`to_dicts`.  NumPy scalars (aggregates come back as
+        ``np.int64``/``np.float64``) are converted to native Python numbers
+        so the text is plain JSON.  Also written to ``path`` if given.
+        """
+        text = json.dumps(self.to_dicts(), default=_json_default, indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8", newline="") as handle:
+                handle.write(text)
+        return text
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.records)
@@ -208,6 +226,12 @@ class ResultSet:
             f"ResultSet({self.query!r}, engine={self.engine!r}, columns={list(self.columns)}, "
             f"records={len(self.records)})"
         )
+
+
+def _json_default(value):
+    if isinstance(value, np.generic):
+        return value.item()
+    raise TypeError(f"ResultSet cell of type {type(value).__name__} is not JSON serializable")
 
 
 def _format(value) -> str:

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import math
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack
 from dataclasses import dataclass
@@ -55,12 +56,14 @@ from repro.api.resultset import ResultSet
 from repro.engine.cache import (
     BuildArtifactCache,
     CacheInfo,
+    CounterSnapshot,
     ExecutionCache,
     ZoneInfo,
     ZoneMapCache,
     activate,
     activate_builds,
     activate_zones,
+    snapshot_counters,
 )
 from repro.engine.physical import lower_query, staged_builds
 from repro.engine.planner import JoinOrderPlanner
@@ -203,6 +206,8 @@ class Session:
         # the unpruned selection-vector plane.  Answers and profiles are
         # identical either way -- only the work done differs.
         self._zone_cache = ZoneMapCache(db, zone_size=zone_size) if zones else None
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -258,6 +263,48 @@ class Session:
             return CacheInfo(hits=0, misses=0, size=0, maxsize=0)
         return self._cache.info()
 
+    def counters(self) -> CounterSnapshot:
+        """A point-in-time snapshot of every cache counter, for delta math.
+
+        Snapshots subtract: ``session.counters() - before`` covers exactly
+        the work done since ``before`` was taken.  The serving layer
+        (:class:`repro.service.QueryService`) brackets each request with a
+        pair of snapshots to stamp its :class:`~repro.service.RequestTrace`
+        with per-request cache behaviour.
+        """
+        return snapshot_counters(self._cache, self._build_cache, self._zone_cache)
+
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        """The session's shared worker pool, created lazily on first use.
+
+        ``run_many(workers=N)`` keeps its own per-call pools (a batch wants
+        exactly N workers); this handle is for long-lived callers -- the
+        async :class:`~repro.service.QueryService` dispatches admitted
+        queries onto it -- so one session serves any number of concurrent
+        submitters without spawning a pool per request.  Sized to the
+        hardware, torn down by :meth:`close`.
+        """
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=os.cpu_count() or 1, thread_name_prefix="repro-session"
+                )
+            return self._executor
+
+    def close(self) -> None:
+        """Shut down the shared executor (idempotent; caches stay intact)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def clear_cache(self) -> None:
         """Drop every memoized execution, build artifact, and zone map (e.g.
         after mutating the database)."""
@@ -301,7 +348,8 @@ class Session:
         share_builds: bool = False,
         workers: int = 1,
         oversubscribe: bool = False,
-    ) -> list[ResultSet]:
+        return_exceptions: bool = False,
+    ) -> "list[ResultSet | Exception]":
         """Execute a batch of queries on one engine.
 
         With ``share_builds=True`` the batch runs as one unit through the
@@ -330,15 +378,26 @@ class Session:
         scheduler churn.  Pass ``oversubscribe=True`` to force exactly
         ``workers`` pool threads regardless (the concurrency tests do, to
         hammer the shared caches with real races).
+
+        ``return_exceptions=True`` turns per-query failures into in-place
+        results: a query that raises contributes its exception object at its
+        input position instead of aborting the batch, so the surviving
+        queries' ResultSets still come back, in order.  The default
+        (``False``) re-raises the first failure after the pool has drained.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         prepared = [self.prepare(query, optimize=optimize) for query in queries]
         effective = workers if oversubscribe else min(workers, os.cpu_count() or 1)
         if effective > 1:
-            return self._run_many_threaded(prepared, engine, cache, share_builds, effective)
+            return self._run_many_threaded(
+                prepared, engine, cache, share_builds, effective, return_exceptions
+            )
         if not share_builds:
-            return [self._execute(engine, query, cache) for query in prepared]
+            return [
+                self._execute_guarded(engine, query, cache, return_exceptions)
+                for query in prepared
+            ]
 
         self.engine(engine)  # fail fast on a bad engine name, before any build work
 
@@ -366,7 +425,20 @@ class Session:
                     build_cache.fetch(self.db, build.key, lambda: build.build(self.db))
             # Phase 2: per-query probe/aggregate stages; every BuildLookup
             # now resolves from the shared artifact cache.
-            return [self._execute(engine, query, cache) for query in prepared]
+            return [
+                self._execute_guarded(engine, query, cache, return_exceptions)
+                for query in prepared
+            ]
+
+    def _execute_guarded(
+        self, engine: str, query: SSBQuery, cache: bool | None, return_exceptions: bool
+    ) -> "ResultSet | Exception":
+        if not return_exceptions:
+            return self._execute(engine, query, cache)
+        try:
+            return self._execute(engine, query, cache)
+        except Exception as exc:
+            return exc
 
     def _run_many_threaded(
         self,
@@ -375,13 +447,20 @@ class Session:
         cache: bool | None,
         share_builds: bool,
         workers: int,
-    ) -> list[ResultSet]:
+        return_exceptions: bool,
+    ) -> "list[ResultSet | Exception]":
         """Morsel-parallel batch execution over a thread pool.
 
         The engine instance is created up front (the per-session engine dict
         is not guarded), and each worker task activates the shared build
         cache itself -- pool threads do not inherit the submitting context's
         ContextVar bindings.
+
+        Error propagation: every morsel is submitted before any result is
+        awaited, so a failing query never starves the rest of the batch --
+        the survivors run to completion in the pool either way, the pool
+        shuts down cleanly, and (without ``return_exceptions``) the first
+        failure in input order is what re-raises.
         """
         self.engine(engine)  # fail fast and pre-populate the engine map
         if share_builds:
@@ -398,7 +477,16 @@ class Session:
             return self._execute(engine, query, cache)
 
         with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-run-many") as pool:
-            return list(pool.map(morsel, prepared))
+            futures = [pool.submit(morsel, query) for query in prepared]
+            if not return_exceptions:
+                return [future.result() for future in futures]
+            results: "list[ResultSet | Exception]" = []
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except Exception as exc:
+                    results.append(exc)
+            return results
 
     def compare(
         self,

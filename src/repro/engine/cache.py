@@ -67,6 +67,71 @@ class CacheInfo(NamedTuple):
     maxsize: int
 
 
+class CounterSnapshot(NamedTuple):
+    """A point-in-time reading of every cache counter a Session carries.
+
+    Snapshots subtract (``after - before``) into a delta covering exactly
+    the work done between the two readings, which is how the serving layer
+    attributes cache behaviour to a single request: snapshot around one
+    execution and read e.g. ``delta.execution_hits`` to learn whether the
+    answer was replayed from the execution memo.  Counters are monotonic,
+    so deltas taken on one thread are exact when the session is quiet and a
+    best-effort attribution when other workers run concurrently.
+    """
+
+    execution_hits: int = 0
+    execution_misses: int = 0
+    build_hits: int = 0
+    build_misses: int = 0
+    zone_hits: int = 0
+    zone_misses: int = 0
+    zones_skipped: int = 0
+    zones_taken: int = 0
+    zones_evaluated: int = 0
+    rows_pruned: int = 0
+
+    def __sub__(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
+        return CounterSnapshot(*(a - b for a, b in zip(self, earlier)))
+
+    @property
+    def execution_cached(self) -> bool:
+        """Whether the covered work replayed at least one memoized execution."""
+        return self.execution_hits > 0
+
+    @property
+    def builds_shared(self) -> bool:
+        """Whether the covered work reused at least one shared build artifact."""
+        return self.build_hits > 0
+
+
+def snapshot_counters(
+    execution: "ExecutionCache | None",
+    builds: "BuildArtifactCache | None",
+    zones: "ZoneMapCache | None",
+) -> CounterSnapshot:
+    """One consistent-enough reading across a session's three caches.
+
+    Each cache is read under its own lock; there is no global lock ordering
+    the three reads, so a snapshot taken while workers run is a best-effort
+    point in time -- exactly what delta attribution needs, and no more.
+    """
+    exec_info = execution.info() if execution is not None else None
+    build_info = builds.info() if builds is not None else None
+    zone_info = zones.info() if zones is not None else None
+    return CounterSnapshot(
+        execution_hits=exec_info.hits if exec_info else 0,
+        execution_misses=exec_info.misses if exec_info else 0,
+        build_hits=build_info.hits if build_info else 0,
+        build_misses=build_info.misses if build_info else 0,
+        zone_hits=zone_info.hits if zone_info else 0,
+        zone_misses=zone_info.misses if zone_info else 0,
+        zones_skipped=zone_info.zones_skipped if zone_info else 0,
+        zones_taken=zone_info.zones_taken if zone_info else 0,
+        zones_evaluated=zone_info.zones_evaluated if zone_info else 0,
+        rows_pruned=zone_info.rows_pruned if zone_info else 0,
+    )
+
+
 class ExecutionCache:
     """An LRU memo of ``(value, profile)`` keyed by query spec.
 

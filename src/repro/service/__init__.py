@@ -1,0 +1,42 @@
+"""Concurrent query serving: admission control, timeouts, request traces.
+
+The service layer turns the batch-oriented :class:`~repro.api.Session` into
+a concurrent query *server*:
+
+* :mod:`repro.service.service` -- :class:`QueryService`, an asyncio front
+  end admitting queries through a bounded queue onto the session's shared
+  worker pool, with ``reject``/``shed`` overload policies, per-request
+  timeouts, graceful drain, and typed failures (:class:`OverloadError`,
+  :class:`QueryTimeoutError`, :class:`ServiceClosedError`).
+* :mod:`repro.service.trace` -- :class:`RequestTrace`, the per-request
+  record (queue/execute timestamps, congestion seen at admission, cache
+  counter deltas) every admitted request carries.
+
+The workload driver in :mod:`repro.workload` replays mixed query traffic
+against this layer and reports tail latencies.
+"""
+
+from repro.service.service import (
+    OVERLOAD_POLICIES,
+    OverloadError,
+    QueryService,
+    QueryTimeoutError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceResult,
+    ServiceStats,
+)
+from repro.service.trace import TERMINAL_STATUSES, RequestTrace
+
+__all__ = [
+    "OVERLOAD_POLICIES",
+    "OverloadError",
+    "QueryService",
+    "QueryTimeoutError",
+    "RequestTrace",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceResult",
+    "ServiceStats",
+    "TERMINAL_STATUSES",
+]

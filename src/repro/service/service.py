@@ -1,0 +1,430 @@
+"""An asyncio query service with admission control over a :class:`Session`.
+
+:class:`QueryService` turns the batch-oriented Session into something that
+can *serve*: any number of concurrent asyncio tasks ``await submit(...)``
+queries, the service admits them through a bounded queue onto the session's
+shared worker pool (:attr:`repro.api.Session.executor`), and at most
+``max_inflight`` queries execute at once.  The session's caches are already
+``ContextVar``-scoped and lock-guarded, so concurrent executions share the
+execution memo, build artifacts, and zone maps safely.
+
+Overload is a first-class state, not a crash: when the queue is full the
+service either **rejects** the new request with a typed
+:class:`OverloadError` carrying the queue stats the client needs for
+backoff, or **sheds** the oldest queued request of the most-represented
+class (``overload="shed"``) so a burst of one query class cannot starve the
+others.  Per-request timeouts cover the whole queued+running lifetime, and
+:meth:`QueryService.close` drains gracefully: no new admissions, every
+admitted request finishes.
+
+All service state mutates on the event-loop thread only (``submit``,
+dispatch, completion callbacks, timeouts); worker threads touch nothing but
+the session, so the service itself needs no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.api.builder import QueryBuilder
+from repro.api.resultset import ResultSet
+from repro.api.session import Session
+from repro.service.trace import RequestTrace
+from repro.ssb.queries import SSBQuery
+
+#: Overload policies: refuse the newcomer, or evict the oldest queued
+#: request of the most-represented class to make room for it.
+OVERLOAD_POLICIES = ("reject", "shed")
+
+
+class ServiceError(RuntimeError):
+    """Base of the service's typed failures."""
+
+
+class OverloadError(ServiceError):
+    """The bounded queue refused a request (reject) or evicted one (shed).
+
+    Carries the queue stats a client needs to back off intelligently:
+    the depth and inflight count at refusal time, the configured limits,
+    and which policy fired.  ``shed=True`` marks the *evicted* request's
+    error (its submitter receives this exception); the newcomer that
+    triggered the shed is admitted normally.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        policy: str,
+        queue_depth: int,
+        max_queue_depth: int,
+        inflight: int,
+        max_inflight: int,
+        class_tag: Optional[str] = None,
+        shed: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.policy = policy
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max_queue_depth
+        self.inflight = inflight
+        self.max_inflight = max_inflight
+        self.class_tag = class_tag
+        self.shed = shed
+
+
+class QueryTimeoutError(ServiceError):
+    """A request exceeded its timeout while queued or running.
+
+    ``where`` says which: ``"queued"`` requests are removed from the queue
+    and never execute; ``"running"`` requests cannot be interrupted
+    mid-kernel -- the worker finishes and the result is discarded.
+    """
+
+    def __init__(self, message: str, *, timeout_s: float, where: str) -> None:
+        super().__init__(message)
+        self.timeout_s = timeout_s
+        self.where = where
+
+
+class ServiceClosedError(ServiceError):
+    """Submit after :meth:`QueryService.close` (or a non-drain shutdown)."""
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One successful execution: the decoded answer plus its trace."""
+
+    result: ResultSet
+    trace: RequestTrace
+
+    @property
+    def latency_ms(self) -> float:
+        return self.trace.total_ms or 0.0
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A point-in-time summary of everything the service has seen."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    shed: int = 0
+    timed_out: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    queued: int = 0
+    inflight: int = 0
+    peak_queue_depth: int = 0
+    peak_inflight: int = 0
+
+    @property
+    def settled(self) -> int:
+        """Requests that reached a terminal state."""
+        return (
+            self.completed + self.rejected + self.shed
+            + self.timed_out + self.failed + self.cancelled
+        )
+
+
+@dataclass
+class _Request:
+    """Internal per-request state: the spec, its future, and its trace."""
+
+    query: SSBQuery
+    engine: str
+    trace: RequestTrace
+    future: asyncio.Future
+    timeout_handle: Optional[asyncio.TimerHandle] = field(default=None, repr=False)
+
+
+class QueryService:
+    """Admission-controlled concurrent query execution over one Session.
+
+    Usage::
+
+        session = Session(db)
+        async with QueryService(session, max_inflight=4, max_queue_depth=64) as svc:
+            result = await svc.submit(QUERIES["q2.1"], class_tag="q2.1")
+            print(result.result, result.trace)
+
+    ``max_inflight`` bounds concurrent executions on the session's worker
+    pool; ``max_queue_depth`` bounds how many admitted requests may wait.
+    ``overload`` picks what happens when both are full (see
+    :data:`OVERLOAD_POLICIES`); ``timeout_s`` is the default per-request
+    timeout (``submit(timeout=...)`` overrides per call).  Answers are
+    byte-identical to ``session.run`` -- the service adds scheduling, never
+    execution semantics.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        *,
+        engine: str = "cpu",
+        max_inflight: int = 2,
+        max_queue_depth: int = 64,
+        overload: str = "reject",
+        timeout_s: Optional[float] = None,
+        optimize: bool = False,
+        trace_limit: int = 100_000,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue_depth < 0:
+            raise ValueError(f"max_queue_depth must be >= 0, got {max_queue_depth}")
+        if overload not in OVERLOAD_POLICIES:
+            raise ValueError(f"overload must be one of {OVERLOAD_POLICIES}, got {overload!r}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        self.session = session
+        self.engine = engine
+        self.max_inflight = max_inflight
+        self.max_queue_depth = max_queue_depth
+        self.overload = overload
+        self.timeout_s = timeout_s
+        self.optimize = optimize
+        self.traces: deque = deque(maxlen=trace_limit)
+        self._queue: deque = deque()
+        self._inflight = 0
+        self._closing = False
+        self._idle_waiters: list = []
+        self._ids = itertools.count(1)
+        self._stats = {
+            "submitted": 0, "completed": 0, "rejected": 0, "shed": 0,
+            "timed_out": 0, "failed": 0, "cancelled": 0,
+            "peak_queue_depth": 0, "peak_inflight": 0,
+        }
+        # Fail fast on a bad default engine, and pre-instantiate it so
+        # worker threads only ever *read* the session's engine map.
+        session.engine(engine)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> ServiceStats:
+        """Counters so far plus the live queue/inflight gauges."""
+        return ServiceStats(queued=len(self._queue), inflight=self._inflight, **self._stats)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        query: "SSBQuery | QueryBuilder",
+        *,
+        engine: Optional[str] = None,
+        class_tag: Optional[str] = None,
+        timeout: "float | None | object" = ...,
+    ) -> ServiceResult:
+        """Admit one query and await its result.
+
+        Raises :class:`OverloadError` if admission is refused,
+        :class:`QueryTimeoutError` if the request's timeout fires first,
+        :class:`ServiceClosedError` after shutdown, and whatever the
+        execution itself raises (bad column, bad engine, ...).
+        """
+        if self._closing:
+            raise ServiceClosedError("QueryService is closed; no new submissions")
+        loop = asyncio.get_running_loop()
+        prepared = self.session.prepare(query, optimize=self.optimize)
+        engine_name = engine if engine is not None else self.engine
+        self.session.engine(engine_name)  # fail fast, on the loop thread
+        trace = RequestTrace(
+            request_id=next(self._ids),
+            query=prepared.name,
+            class_tag=class_tag if class_tag is not None else prepared.name,
+            engine=engine_name,
+            enqueued_at=time.perf_counter(),
+            enqueued_wall=time.time(),
+            queue_depth_seen=len(self._queue),
+            inflight_seen=self._inflight,
+        )
+        self._stats["submitted"] += 1
+        if self._inflight >= self.max_inflight and len(self._queue) >= self.max_queue_depth:
+            self._overloaded(trace)
+        request = _Request(prepared, engine_name, trace, loop.create_future())
+        self._queue.append(request)
+        self._stats["peak_queue_depth"] = max(self._stats["peak_queue_depth"], len(self._queue))
+        timeout_s = self.timeout_s if timeout is ... else timeout
+        if timeout_s is not None:
+            trace.timeout_s = timeout_s
+            request.timeout_handle = loop.call_later(timeout_s, self._expire, request, timeout_s)
+        self._dispatch(loop)
+        return await request.future
+
+    # ------------------------------------------------------------------
+    def _overloaded(self, trace: RequestTrace) -> None:
+        """Queue full: reject the newcomer, or shed a queued victim."""
+        stats = dict(
+            queue_depth=len(self._queue),
+            max_queue_depth=self.max_queue_depth,
+            inflight=self._inflight,
+            max_inflight=self.max_inflight,
+        )
+        if self.overload == "reject" or not self._queue:
+            # No queued victim to shed (max_queue_depth=0): reject instead.
+            trace.status = "rejected"
+            trace.finished_at = time.perf_counter()
+            self._stats["rejected"] += 1
+            self.traces.append(trace)
+            raise OverloadError(
+                f"queue full ({stats['queue_depth']}/{self.max_queue_depth} queued, "
+                f"{self._inflight}/{self.max_inflight} inflight); request "
+                f"{trace.class_tag!r} rejected",
+                policy="reject", class_tag=trace.class_tag, **stats,
+            )
+        # Shed: evict the oldest queued request of the most-represented
+        # class, so a burst of one class pays for its own burst instead of
+        # squeezing out minority classes.
+        counts = Counter(queued.trace.class_tag for queued in self._queue)
+        heaviest = max(counts.values())
+        victim = next(r for r in self._queue if counts[r.trace.class_tag] == heaviest)
+        self._queue.remove(victim)
+        if victim.timeout_handle is not None:
+            victim.timeout_handle.cancel()
+        victim.trace.status = "shed"
+        victim.trace.finished_at = time.perf_counter()
+        self._stats["shed"] += 1
+        self.traces.append(victim.trace)
+        victim.future.set_exception(
+            OverloadError(
+                f"request {victim.trace.class_tag!r} shed to admit {trace.class_tag!r} "
+                f"(class had {heaviest} queued)",
+                policy="shed", class_tag=victim.trace.class_tag, shed=True, **stats,
+            )
+        )
+        self._notify_idle()
+
+    def _dispatch(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Move queued requests onto the worker pool up to ``max_inflight``."""
+        while self._queue and self._inflight < self.max_inflight:
+            request = self._queue.popleft()
+            request.trace.status = "running"
+            request.trace.dequeued_at = time.perf_counter()
+            self._inflight += 1
+            self._stats["peak_inflight"] = max(self._stats["peak_inflight"], self._inflight)
+            pool_future = loop.run_in_executor(self.session.executor, self._execute, request)
+            pool_future.add_done_callback(
+                lambda done, request=request: self._finish(request, done)
+            )
+
+    def _execute(self, request: _Request):
+        """Worker-thread body: run the query, bracketed by counter snapshots."""
+        before = self.session.counters()
+        result = self.session.run(request.query, engine=request.engine)
+        return result, self.session.counters() - before
+
+    def _finish(self, request: _Request, done: asyncio.Future) -> None:
+        """Loop-thread completion: settle the future, keep the pump going."""
+        self._inflight -= 1
+        trace = request.trace
+        trace.finished_at = time.perf_counter()
+        if request.timeout_handle is not None:
+            request.timeout_handle.cancel()
+        try:
+            result, delta = done.result()
+        except Exception as exc:
+            if not request.future.done():  # not already timed out
+                trace.status = "error"
+                trace.error = f"{type(exc).__name__}: {exc}"
+                self._stats["failed"] += 1
+                request.future.set_exception(exc)
+        else:
+            trace.counters = delta
+            if not request.future.done():
+                trace.status = "ok"
+                self._stats["completed"] += 1
+                request.future.set_result(ServiceResult(result, trace))
+            # else: timed out while running; the computed answer is discarded.
+        self.traces.append(trace)
+        self._dispatch(asyncio.get_running_loop())
+        self._notify_idle()
+
+    def _expire(self, request: _Request, timeout_s: float) -> None:
+        """Timeout fired for a still-unsettled request."""
+        if request.future.done():
+            return
+        trace = request.trace
+        where = "queued" if trace.status == "queued" else "running"
+        if where == "queued":
+            self._queue.remove(request)
+            trace.finished_at = time.perf_counter()
+            self.traces.append(trace)
+        trace.status = "timeout"
+        self._stats["timed_out"] += 1
+        request.future.set_exception(
+            QueryTimeoutError(
+                f"request {trace.class_tag!r} exceeded {timeout_s * 1e3:.0f}ms while {where}",
+                timeout_s=timeout_s, where=where,
+            )
+        )
+        self._notify_idle()
+
+    # ------------------------------------------------------------------
+    def _idle(self) -> bool:
+        return not self._queue and self._inflight == 0
+
+    def _notify_idle(self) -> None:
+        if not self._idle():
+            return
+        waiters, self._idle_waiters = self._idle_waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    async def drain(self) -> None:
+        """Wait until every admitted request has reached a terminal state."""
+        if self._idle():
+            return
+        waiter = asyncio.get_running_loop().create_future()
+        self._idle_waiters.append(waiter)
+        await waiter
+
+    async def close(self, *, drain: bool = True) -> None:
+        """Stop admissions; drain outstanding work (or cancel the queue).
+
+        ``drain=True`` (graceful, the default) lets every queued and
+        inflight request finish.  ``drain=False`` cancels queued requests
+        with :class:`ServiceClosedError` and waits only for the inflight
+        ones (a running query cannot be interrupted).
+        """
+        self._closing = True
+        if not drain:
+            while self._queue:
+                request = self._queue.popleft()
+                if request.timeout_handle is not None:
+                    request.timeout_handle.cancel()
+                request.trace.status = "cancelled"
+                request.trace.finished_at = time.perf_counter()
+                self._stats["cancelled"] += 1
+                self.traces.append(request.trace)
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServiceClosedError("QueryService shut down before execution")
+                    )
+        await self.drain()
+
+    async def __aenter__(self) -> "QueryService":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close(drain=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryService(engine={self.engine!r}, inflight={self._inflight}/"
+            f"{self.max_inflight}, queued={len(self._queue)}/{self.max_queue_depth}, "
+            f"policy={self.overload!r})"
+        )

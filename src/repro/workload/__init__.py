@@ -1,0 +1,55 @@
+"""Workload replay: mixed query traffic at a target rate, measured at the tail.
+
+The driver half of the serving story (the service half is
+:mod:`repro.service`):
+
+* :mod:`repro.workload.spec` -- :class:`WorkloadSpec` / :class:`QueryClass`,
+  the declarative description of a mixed read workload (class percentages,
+  open-loop Poisson or closed-loop arrivals, duration, repetitions, seed).
+* :mod:`repro.workload.driver` -- :class:`WorkloadDriver`, which replays a
+  spec against a :class:`~repro.service.QueryService` and returns a
+  :class:`WorkloadReport`.
+* :mod:`repro.workload.report` -- per-class tail-latency statistics
+  (:class:`ClassStats`), repetition-aware summaries, and the
+  ``run_table.csv`` / summary-JSON artifact writers.
+"""
+
+from repro.workload.driver import (
+    WorkloadDriver,
+    WorkloadReport,
+    class_sequence,
+    poisson_arrivals,
+)
+from repro.workload.report import (
+    ALL_CLASSES,
+    RUN_TABLE_COLUMNS,
+    ClassStats,
+    RepetitionResult,
+    percentile,
+    render_run_table,
+    run_table_rows,
+    summarize_repetitions,
+    write_run_table,
+    write_summary_json,
+)
+from repro.workload.spec import ARRIVALS, QueryClass, WorkloadSpec
+
+__all__ = [
+    "ALL_CLASSES",
+    "ARRIVALS",
+    "ClassStats",
+    "QueryClass",
+    "RepetitionResult",
+    "RUN_TABLE_COLUMNS",
+    "WorkloadDriver",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "class_sequence",
+    "percentile",
+    "poisson_arrivals",
+    "render_run_table",
+    "run_table_rows",
+    "summarize_repetitions",
+    "write_run_table",
+    "write_summary_json",
+]

@@ -1,0 +1,274 @@
+"""The workload driver: replay a :class:`WorkloadSpec` against the service.
+
+The driver is the load generator half of the serving story: it samples a
+deterministic request schedule from the spec's seed, submits it to a fresh
+:class:`~repro.service.QueryService` per repetition, records every
+outcome (completed, rejected, shed, timed out, errored) with its latency,
+and folds the outcomes into per-class and aggregate
+:class:`~repro.workload.report.ClassStats`.
+
+Two arrival processes:
+
+* **open-loop Poisson** -- arrivals fire at the target RPS on an
+  exponential clock regardless of how the service is doing.  This is the
+  honest way to measure tail latency under load: a slow service faces a
+  growing queue, not a politely waiting client.
+* **closed-loop** -- N virtual users in submit -> await -> think loops.
+  Throughput self-limits to service capacity, like a connection pool.
+
+Determinism: all randomness (arrival gaps, class picks) is drawn from
+``random.Random(seed + repetition)`` *before* any request is submitted, so
+two runs of the same spec replay byte-identical schedules no matter how
+the event loop interleaves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.api.session import Session
+from repro.service import OverloadError, QueryService, QueryTimeoutError
+from repro.workload.report import (
+    ALL_CLASSES,
+    ClassStats,
+    RepetitionResult,
+    run_table_rows,
+    summarize_repetitions,
+    write_run_table,
+    write_summary_json,
+)
+from repro.workload.spec import QueryClass, WorkloadSpec
+
+
+def poisson_arrivals(target_rps: float, duration_s: float, rng: random.Random) -> list[float]:
+    """Open-loop arrival offsets (seconds) on an exponential clock."""
+    offsets: list[float] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(target_rps)
+        if t >= duration_s:
+            return offsets
+        offsets.append(t)
+
+
+def class_sequence(spec: WorkloadSpec, count: int, rng: random.Random) -> list[QueryClass]:
+    """``count`` class picks drawn by weight from the spec's mix."""
+    classes = list(spec.classes)
+    weights = [qclass.weight for qclass in classes]
+    return rng.choices(classes, weights=weights, k=count)
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """The full result of one driver run: spec, repetitions, artifacts."""
+
+    spec: WorkloadSpec
+    repetitions: tuple
+    run: str
+    errors: tuple = ()
+
+    # ------------------------------------------------------------------
+    def rows(self) -> list[dict]:
+        """``run_table.csv`` rows: one per repetition x class (+ aggregate)."""
+        return run_table_rows(self.spec, self.repetitions, self.run)
+
+    def summary(self) -> dict:
+        """Repetition-aware summary (the JSON artifact's payload)."""
+        spec = self.spec
+        return {
+            "run": self.run,
+            "spec": {
+                "arrival": spec.arrival,
+                "target_rps": spec.target_rps if spec.arrival == "poisson" else None,
+                "users": spec.users if spec.arrival == "closed" else None,
+                "think_time_s": spec.think_time_s,
+                "duration_s": spec.duration_s,
+                "repetitions": spec.repetitions,
+                "seed": spec.seed,
+                "engine": spec.engine,
+                "timeout_s": spec.timeout_s,
+                "mix": {qclass.name: qclass.weight for qclass in spec.classes},
+            },
+            "classes": summarize_repetitions(self.repetitions),
+            "repetitions": [result.as_dict() for result in self.repetitions],
+            "errors": list(self.errors),
+        }
+
+    def write_run_table(self, path: str) -> None:
+        write_run_table(path, self.rows())
+
+    def write_summary(self, path: str) -> None:
+        write_summary_json(path, self.summary())
+
+    # ------------------------------------------------------------------
+    @property
+    def aggregate(self) -> ClassStats:
+        """The last repetition's aggregate row (convenience accessor)."""
+        return self.repetitions[-1].aggregate
+
+    def __str__(self) -> str:
+        lines = [f"workload {self.run}: {len(self.repetitions)} repetition(s)"]
+        header = (
+            f"  {'class':<16} {'reqs':>6} {'ok':>6} {'rej':>5} {'p50ms':>8} "
+            f"{'p95ms':>8} {'p99ms':>8} {'rps':>8}"
+        )
+        lines.append(header)
+        summary = summarize_repetitions(self.repetitions)
+        for tag, entry in summary.items():
+            p50 = entry["p50_ms"]["mean"] if entry["p50_ms"] else float("nan")
+            p95 = entry["p95_ms"]["mean"] if entry["p95_ms"] else float("nan")
+            p99 = entry["p99_ms"]["mean"] if entry["p99_ms"] else float("nan")
+            lines.append(
+                f"  {tag:<16} {entry['requests']:>6} {entry['completed']:>6} "
+                f"{entry['rejected'] + entry['shed']:>5} {p50:>8.2f} {p95:>8.2f} "
+                f"{p99:>8.2f} {entry['throughput_rps']['mean']:>8.1f}"
+            )
+        return "\n".join(lines)
+
+
+class WorkloadDriver:
+    """Replays one :class:`WorkloadSpec` and measures what came back.
+
+    ``service_config`` passes through to each repetition's fresh
+    :class:`~repro.service.QueryService` (admission limits, overload
+    policy); the spec's ``engine``/``timeout_s`` are applied on top.  The
+    session is shared across repetitions -- its caches persist, which is
+    the production situation (a warm server), and ``warmup`` covers the
+    first repetition's cold start.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        spec: WorkloadSpec,
+        *,
+        service_config: "dict | None" = None,
+    ) -> None:
+        self.session = session
+        self.spec = spec
+        self.service_config = dict(service_config or {})
+        for reserved in ("engine", "timeout_s"):
+            if reserved in self.service_config:
+                raise ValueError(f"{reserved!r} is set by the WorkloadSpec, not service_config")
+
+    # ------------------------------------------------------------------
+    def run(self, run: str = "run_1") -> WorkloadReport:
+        """Execute every repetition and return the full report."""
+        repetitions = []
+        errors: list[str] = []
+        for rep in range(self.spec.repetitions):
+            result, rep_errors = asyncio.run(self._repetition(rep))
+            repetitions.append(result)
+            errors.extend(rep_errors)
+        return WorkloadReport(self.spec, tuple(repetitions), run, tuple(errors))
+
+    # ------------------------------------------------------------------
+    def _service(self) -> QueryService:
+        return QueryService(
+            self.session,
+            engine=self.spec.engine,
+            timeout_s=self.spec.timeout_s,
+            **self.service_config,
+        )
+
+    async def _repetition(self, rep: int):
+        spec = self.spec
+        rng = random.Random(spec.seed + rep)
+        service = self._service()
+        outcomes: dict[str, list] = {qclass.name: [] for qclass in spec.classes}
+        errors: list[str] = []
+
+        if spec.warmup:
+            # One unmeasured pass per class: builds zone maps and dimension
+            # artifacts so the measured window starts warm.
+            for qclass in spec.classes:
+                await service.submit(qclass.query, class_tag=qclass.name, timeout=None)
+        warmup_requests = len(spec.classes) if spec.warmup else 0
+
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        if spec.arrival == "poisson":
+            offsets = poisson_arrivals(spec.target_rps, spec.duration_s, rng)
+            picks = class_sequence(spec, len(offsets), rng)
+            tasks = []
+            for offset, qclass in zip(offsets, picks):
+                delay = start + offset - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                tasks.append(
+                    asyncio.create_task(self._one(service, qclass, outcomes, errors))
+                )
+            if tasks:
+                await asyncio.gather(*tasks)
+        else:
+            deadline = start + spec.duration_s
+            user_rngs = [random.Random(rng.random()) for _ in range(spec.users)]
+
+            async def virtual_user(user_rng: random.Random) -> None:
+                while loop.time() < deadline:
+                    qclass = class_sequence(spec, 1, user_rng)[0]
+                    await self._one(service, qclass, outcomes, errors)
+                    if spec.think_time_s:
+                        await asyncio.sleep(spec.think_time_s)
+
+            await asyncio.gather(*(virtual_user(user_rng) for user_rng in user_rngs))
+        await service.close(drain=True)
+        elapsed = loop.time() - start
+
+        per_class = {
+            tag: ClassStats.from_outcomes(tag, rows, elapsed)
+            for tag, rows in outcomes.items()
+            if rows
+        }
+        aggregate = ClassStats.from_outcomes(
+            ALL_CLASSES, [row for rows in outcomes.values() for row in rows], elapsed
+        )
+        stats = service.stats
+        service_dict = {
+            "submitted": stats.submitted,
+            "completed": stats.completed,
+            "rejected": stats.rejected,
+            "shed": stats.shed,
+            "timed_out": stats.timed_out,
+            "failed": stats.failed,
+            "cancelled": stats.cancelled,
+            "peak_queue_depth": stats.peak_queue_depth,
+            "peak_inflight": stats.peak_inflight,
+            "warmup_requests": warmup_requests,
+        }
+        result = RepetitionResult(
+            repetition=rep,
+            duration_s=elapsed,
+            per_class=per_class,
+            aggregate=aggregate,
+            service=service_dict,
+        )
+        return result, errors
+
+    async def _one(
+        self,
+        service: QueryService,
+        qclass: QueryClass,
+        outcomes: dict,
+        errors: list,
+    ) -> None:
+        started = time.perf_counter()
+        status = "ok"
+        latency_ms: Optional[float] = None
+        try:
+            submitted = await service.submit(qclass.query, class_tag=qclass.name)
+            latency_ms = submitted.latency_ms
+        except OverloadError as exc:
+            status = "shed" if exc.shed else "rejected"
+        except QueryTimeoutError:
+            status = "timeout"
+        except Exception as exc:
+            status = "error"
+            errors.append(f"{qclass.name}: {type(exc).__name__}: {exc}")
+        if latency_ms is None:
+            latency_ms = (time.perf_counter() - started) * 1e3
+        outcomes[qclass.name].append((status, latency_ms))

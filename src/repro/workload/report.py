@@ -1,0 +1,285 @@
+"""Workload statistics: per-class tail latencies and run-table artifacts.
+
+The reporting shape follows the Locust/``dbworkload`` methodology: every
+(run, repetition, class) triple gets one row of latency percentiles,
+throughput, and failure/rejection rates, with an ``__all__`` aggregate row
+per repetition, written to a ``run_table.csv`` whose rows downstream
+analysis can pool, and a summary JSON with repetition-aware statistics
+(mean/min/max of each percentile across repetitions -- never percentiles
+of percentiles pooled silently).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import os
+import tempfile
+from dataclasses import dataclass, fields
+from typing import Iterable, Optional, Sequence
+
+#: The class tag of the per-repetition aggregate row.
+ALL_CLASSES = "__all__"
+
+#: Column order of ``run_table.csv`` (one row per run x repetition x class).
+RUN_TABLE_COLUMNS = (
+    "run",
+    "repetition",
+    "class",
+    "arrival",
+    "target_rps",
+    "users",
+    "duration_s",
+    "engine",
+    "seed",
+    "requests",
+    "completed",
+    "rejected",
+    "shed",
+    "timed_out",
+    "failed",
+    "throughput_rps",
+    "mean_ms",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "max_ms",
+    "failure_rate",
+    "rejection_rate",
+)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile with linear interpolation (NumPy default).
+
+    Pure Python so the math under the p99 numbers is inspectable and unit
+    tested directly; raises on an empty sample rather than inventing a 0.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    position = (len(ordered) - 1) * q / 100.0
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return float(ordered[lower])
+    fraction = position - lower
+    return float(ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction)
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Latency and outcome statistics of one class in one repetition.
+
+    Percentiles cover *completed* requests only (a rejection answers in
+    microseconds and would flatter the tail); the failure and rejection
+    rates put the refused traffic back into view.  Percentile fields are
+    ``None`` when nothing completed.
+    """
+
+    class_tag: str
+    requests: int
+    completed: int
+    rejected: int
+    shed: int
+    timed_out: int
+    failed: int
+    throughput_rps: float
+    mean_ms: Optional[float]
+    p50_ms: Optional[float]
+    p95_ms: Optional[float]
+    p99_ms: Optional[float]
+    max_ms: Optional[float]
+
+    @property
+    def failure_rate(self) -> float:
+        """Requests that errored or timed out, as a fraction of submitted."""
+        if not self.requests:
+            return 0.0
+        return (self.failed + self.timed_out) / self.requests
+
+    @property
+    def rejection_rate(self) -> float:
+        """Requests refused by admission control (rejected or shed)."""
+        if not self.requests:
+            return 0.0
+        return (self.rejected + self.shed) / self.requests
+
+    @classmethod
+    def from_outcomes(
+        cls, class_tag: str, outcomes: Iterable[tuple[str, float]], duration_s: float
+    ) -> "ClassStats":
+        """Fold ``(status, latency_ms)`` outcomes into one stats row."""
+        counts = {"ok": 0, "rejected": 0, "shed": 0, "timeout": 0, "error": 0}
+        latencies: list[float] = []
+        for status, latency_ms in outcomes:
+            if status not in counts:
+                raise ValueError(f"unknown outcome status {status!r}")
+            counts[status] += 1
+            if status == "ok":
+                latencies.append(latency_ms)
+        return cls(
+            class_tag=class_tag,
+            requests=sum(counts.values()),
+            completed=counts["ok"],
+            rejected=counts["rejected"],
+            shed=counts["shed"],
+            timed_out=counts["timeout"],
+            failed=counts["error"],
+            throughput_rps=counts["ok"] / duration_s if duration_s > 0 else 0.0,
+            mean_ms=sum(latencies) / len(latencies) if latencies else None,
+            p50_ms=percentile(latencies, 50) if latencies else None,
+            p95_ms=percentile(latencies, 95) if latencies else None,
+            p99_ms=percentile(latencies, 99) if latencies else None,
+            max_ms=max(latencies) if latencies else None,
+        )
+
+    def as_dict(self) -> dict:
+        record = {f.name: getattr(self, f.name) for f in fields(self)}
+        record["failure_rate"] = self.failure_rate
+        record["rejection_rate"] = self.rejection_rate
+        return record
+
+
+@dataclass(frozen=True)
+class RepetitionResult:
+    """Everything measured in one repetition of one run."""
+
+    repetition: int
+    duration_s: float
+    per_class: dict
+    aggregate: ClassStats
+    service: dict
+
+    def as_dict(self) -> dict:
+        return {
+            "repetition": self.repetition,
+            "duration_s": self.duration_s,
+            "aggregate": self.aggregate.as_dict(),
+            "per_class": {tag: stats.as_dict() for tag, stats in self.per_class.items()},
+            "service": self.service,
+        }
+
+
+def run_table_rows(spec, repetitions: Sequence[RepetitionResult], run: str) -> list[dict]:
+    """One dict per (run, repetition, class), aggregate row included."""
+    rows = []
+    for result in repetitions:
+        stats_rows = [result.aggregate] + [
+            result.per_class[tag] for tag in sorted(result.per_class)
+        ]
+        for stats in stats_rows:
+            row = {
+                "run": run,
+                "repetition": result.repetition,
+                "class": stats.class_tag,
+                "arrival": spec.arrival,
+                "target_rps": spec.target_rps if spec.arrival == "poisson" else "",
+                "users": spec.users if spec.arrival == "closed" else "",
+                "duration_s": round(result.duration_s, 6),
+                "engine": spec.engine,
+                "seed": spec.seed + result.repetition,
+                "requests": stats.requests,
+                "completed": stats.completed,
+                "rejected": stats.rejected,
+                "shed": stats.shed,
+                "timed_out": stats.timed_out,
+                "failed": stats.failed,
+                "throughput_rps": round(stats.throughput_rps, 3),
+                "mean_ms": _round(stats.mean_ms),
+                "p50_ms": _round(stats.p50_ms),
+                "p95_ms": _round(stats.p95_ms),
+                "p99_ms": _round(stats.p99_ms),
+                "max_ms": _round(stats.max_ms),
+                "failure_rate": round(stats.failure_rate, 6),
+                "rejection_rate": round(stats.rejection_rate, 6),
+            }
+            rows.append(row)
+    return rows
+
+
+def _round(value: Optional[float], digits: int = 3) -> "float | str":
+    return "" if value is None else round(value, digits)
+
+
+def summarize_repetitions(repetitions: Sequence[RepetitionResult]) -> dict:
+    """Repetition-aware per-class statistics: mean/min/max across reps.
+
+    Percentiles are summarized *across* repetitions (the mean p99 of N
+    repetitions, and its spread), never recomputed over pooled latencies --
+    pooling would let a fast repetition mask a slow one's tail.
+    """
+    tags = sorted({tag for result in repetitions for tag in result.per_class})
+    summary = {}
+    for tag in tags + [ALL_CLASSES]:
+        rows = [
+            result.aggregate if tag == ALL_CLASSES else result.per_class[tag]
+            for result in repetitions
+            if tag == ALL_CLASSES or tag in result.per_class
+        ]
+        entry = {
+            "repetitions": len(rows),
+            "requests": sum(row.requests for row in rows),
+            "completed": sum(row.completed for row in rows),
+            "rejected": sum(row.rejected for row in rows),
+            "shed": sum(row.shed for row in rows),
+            "timed_out": sum(row.timed_out for row in rows),
+            "failed": sum(row.failed for row in rows),
+            "throughput_rps": _spread([row.throughput_rps for row in rows]),
+            "failure_rate": _spread([row.failure_rate for row in rows]),
+            "rejection_rate": _spread([row.rejection_rate for row in rows]),
+        }
+        for name in ("mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"):
+            values = [getattr(row, name) for row in rows if getattr(row, name) is not None]
+            entry[name] = _spread(values) if values else None
+        summary[tag] = entry
+    return summary
+
+
+def _spread(values: Sequence[float]) -> dict:
+    return {
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+    }
+
+
+# ----------------------------------------------------------------------
+def write_text_atomic(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via a temp file + :func:`os.replace`."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".workload-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def render_run_table(rows: Sequence[dict]) -> str:
+    """The run-table rows as CSV text in :data:`RUN_TABLE_COLUMNS` order."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=RUN_TABLE_COLUMNS, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_run_table(path: str, rows: Sequence[dict]) -> None:
+    """Write (atomically) the ``run_table.csv`` artifact."""
+    write_text_atomic(path, render_run_table(rows))
+
+
+def write_summary_json(path: str, payload: dict) -> None:
+    """Write (atomically) a summary JSON next to the run table."""
+    write_text_atomic(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")

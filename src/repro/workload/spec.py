@@ -1,0 +1,128 @@
+"""Declarative workload descriptions: what to replay, how fast, how long.
+
+A :class:`WorkloadSpec` describes a mixed read workload the way load
+generators like Locust or ``dbworkload`` do: a set of named *query
+classes* with percentage weights, an arrival process (open-loop Poisson at
+a target RPS, or closed-loop with N virtual users), a duration, and a
+repetition count -- everything the driver needs to replay the same traffic
+deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.api.builder import QueryBuilder
+from repro.ssb.queries import SSBQuery
+
+#: Arrival processes the driver understands.  ``poisson`` is open-loop
+#: (arrivals keep coming at the target rate no matter how slow the service
+#: is -- the honest way to measure tail latency under load); ``closed`` is
+#: N virtual users in submit -> wait -> think loops (throughput self-limits
+#: to the service's capacity, like a connection pool).
+ARRIVALS = ("poisson", "closed")
+
+
+@dataclass(frozen=True)
+class QueryClass:
+    """One named traffic class: a query and its share of the mix."""
+
+    name: str
+    query: "SSBQuery | QueryBuilder"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("query class needs a non-empty name")
+        if self.weight <= 0:
+            raise ValueError(f"class {self.name!r}: weight must be positive, got {self.weight}")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A replayable mixed workload.
+
+    ``classes`` weights are relative (percentages work, any positive scale
+    works); :attr:`fractions` normalizes them.  ``seed`` makes the whole
+    replay deterministic -- repetition ``r`` derives its RNG from
+    ``seed + r``, so repetitions differ from each other but reproduce
+    run-to-run.  ``warmup=True`` (default) runs each class once, unmeasured,
+    before the clock starts, so one-time work (zone-map construction,
+    dimension build artifacts) does not pollute the first percentiles.
+    """
+
+    classes: tuple
+    arrival: str = "poisson"
+    target_rps: float = 50.0
+    users: int = 4
+    think_time_s: float = 0.0
+    duration_s: float = 2.0
+    repetitions: int = 1
+    seed: int = 0
+    engine: str = "cpu"
+    timeout_s: Optional[float] = None
+    warmup: bool = field(default=True, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("workload needs at least one query class")
+        names = [qclass.name for qclass in self.classes]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ValueError(f"duplicate query class name(s): {duplicates}")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(f"arrival must be one of {ARRIVALS}, got {self.arrival!r}")
+        if self.arrival == "poisson" and self.target_rps <= 0:
+            raise ValueError(f"target_rps must be positive, got {self.target_rps}")
+        if self.arrival == "closed" and self.users < 1:
+            raise ValueError(f"users must be >= 1, got {self.users}")
+        if self.think_time_s < 0:
+            raise ValueError(f"think_time_s must be >= 0, got {self.think_time_s}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {self.repetitions}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+
+    # ------------------------------------------------------------------
+    @property
+    def fractions(self) -> "dict[str, float]":
+        """The class mix normalized to fractions summing to 1."""
+        total = sum(qclass.weight for qclass in self.classes)
+        return {qclass.name: qclass.weight / total for qclass in self.classes}
+
+    def by_name(self, name: str) -> QueryClass:
+        for qclass in self.classes:
+            if qclass.name == name:
+                return qclass
+        raise KeyError(f"no query class named {name!r}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def ssb_mix(
+        cls,
+        *,
+        percentages: "dict[str, float] | None" = None,
+        extra: Sequence[QueryClass] = (),
+        **kwargs,
+    ) -> "WorkloadSpec":
+        """The 13 canonical SSB queries as a workload mix.
+
+        ``percentages`` overrides the default equal weights (name a subset
+        to restrict the mix to it); ``extra`` appends custom classes --
+        e.g. a :class:`~repro.api.builder.QueryBuilder` query -- on top.
+        Remaining keyword arguments pass through to the spec.
+        """
+        from repro.ssb.queries import QUERIES, QUERY_ORDER
+
+        if percentages is None:
+            percentages = {name: 1.0 for name in QUERY_ORDER}
+        unknown = sorted(set(percentages) - set(QUERIES))
+        if unknown:
+            raise ValueError(f"unknown SSB query name(s) in mix: {unknown}")
+        classes = tuple(
+            QueryClass(name, QUERIES[name], weight) for name, weight in percentages.items()
+        ) + tuple(extra)
+        return cls(classes=classes, **kwargs)

@@ -9,6 +9,7 @@ dimension build constructed exactly once no matter how the batch lands on
 the workers.
 """
 
+import dataclasses
 import threading
 
 import pytest
@@ -16,7 +17,13 @@ import pytest
 from repro.api import Session
 from repro.engine.cache import BuildArtifactCache, ExecutionCache
 from repro.engine.physical import lower_query
-from repro.ssb.queries import QUERIES, QUERY_ORDER
+from repro.ssb.queries import QUERIES, QUERY_ORDER, FilterSpec
+
+#: A query that prepares fine but blows up at execution time (the column
+#: only goes missing once the scan actually touches the fact table).
+BROKEN = dataclasses.replace(
+    QUERIES["q1.1"], name="q_broken", fact_filters=(FilterSpec("lo_nope", "eq", 1),)
+)
 
 
 def _distinct_builds(queries):
@@ -114,6 +121,52 @@ class TestThreadedRunMany:
         assert results[0].value is not None
         session.run_many([QUERIES["q1.1"]], engine="cpu", workers=8, oversubscribe=True)
         assert called  # oversubscribe forces the requested pool size
+
+
+class TestErrorPropagation:
+    """A failing morsel must surface -- never hang the pool or scramble order."""
+
+    BATCH = [QUERIES["q1.1"], BROKEN, QUERIES["q2.1"], QUERIES["q3.1"]]
+
+    def test_threaded_failure_raises_without_deadlock(self, tiny_ssb):
+        session = Session(tiny_ssb, cache=False)
+        with pytest.raises(KeyError, match="lo_nope"):
+            session.run_many(self.BATCH, engine="cpu", workers=4, oversubscribe=True)
+        # The pool drained cleanly: the same session keeps working.
+        results = session.run_many([QUERIES["q1.1"]], engine="cpu", workers=4, oversubscribe=True)
+        assert results[0].value is not None
+
+    def test_threaded_return_exceptions_keeps_survivors_in_order(self, tiny_ssb):
+        serial = Session(tiny_ssb, cache=False).run_many(
+            [q for q in self.BATCH if q.name != "q_broken"], engine="cpu"
+        )
+        mixed = Session(tiny_ssb, cache=False).run_many(
+            self.BATCH, engine="cpu", workers=4, oversubscribe=True, return_exceptions=True
+        )
+        assert isinstance(mixed[1], KeyError)
+        survivors = [mixed[0], mixed[2], mixed[3]]
+        for got, expected in zip(survivors, serial):
+            assert got.query == expected.query  # input order preserved
+            assert got.value == expected.value
+            assert got.simulated_ms == expected.simulated_ms
+
+    @pytest.mark.parametrize("kwargs", [{}, {"share_builds": True}])
+    def test_serial_paths_honor_return_exceptions(self, tiny_ssb, kwargs):
+        session = Session(tiny_ssb, cache=False)
+        with pytest.raises(KeyError, match="lo_nope"):
+            session.run_many(self.BATCH, engine="cpu", **kwargs)
+        mixed = session.run_many(self.BATCH, engine="cpu", return_exceptions=True, **kwargs)
+        assert isinstance(mixed[1], KeyError)
+        assert [r.query for i, r in enumerate(mixed) if i != 1] == ["q1.1", "q2.1", "q3.1"]
+
+    def test_first_failure_in_input_order_is_what_raises(self, tiny_ssb):
+        other = dataclasses.replace(BROKEN, name="q_broken2")
+        batch = [BROKEN, QUERIES["q1.1"], other]
+        mixed = Session(tiny_ssb, cache=False).run_many(
+            batch, engine="cpu", workers=4, oversubscribe=True, return_exceptions=True
+        )
+        assert isinstance(mixed[0], KeyError) and isinstance(mixed[2], KeyError)
+        assert mixed[1].value is not None
 
 
 class TestBuildArtifactCacheConcurrency:

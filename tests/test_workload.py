@@ -1,0 +1,262 @@
+"""Tests for the workload layer: specs, schedules, statistics, the driver.
+
+The schedule is the contract: everything random (arrival gaps, class picks)
+derives from the spec's seed before any request is submitted, so the same
+spec replays the same traffic no matter how the event loop interleaves --
+and the statistics folding (percentiles, run-table rows, repetition-aware
+summaries) is plain inspectable math, tested against NumPy directly.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.api import Q, Session
+from repro.ssb.queries import QUERIES, QUERY_ORDER
+from repro.workload import QueryClass, WorkloadDriver, WorkloadSpec
+from repro.workload.driver import class_sequence, poisson_arrivals
+from repro.workload.report import (
+    ALL_CLASSES,
+    RUN_TABLE_COLUMNS,
+    ClassStats,
+    percentile,
+    render_run_table,
+    summarize_repetitions,
+)
+
+
+def small_mix(**kwargs) -> WorkloadSpec:
+    """A three-class mix small enough for sub-second driver runs."""
+    kwargs.setdefault("duration_s", 0.3)
+    return WorkloadSpec.ssb_mix(
+        percentages={"q1.1": 50.0, "q2.1": 30.0},
+        extra=(
+            QueryClass(
+                "adhoc",
+                Q("lineorder")
+                .filter("lo_discount", "between", (4, 6))
+                .join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+                .group_by("d_year")
+                .agg("count"),
+                20.0,
+            ),
+        ),
+        **kwargs,
+    )
+
+
+class TestSpecValidation:
+    def test_ssb_mix_defaults_to_all_queries(self):
+        spec = WorkloadSpec.ssb_mix()
+        assert [qclass.name for qclass in spec.classes] == list(QUERY_ORDER)
+        assert sum(spec.fractions.values()) == pytest.approx(1.0)
+
+    def test_ssb_mix_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown SSB query"):
+            WorkloadSpec.ssb_mix(percentages={"q9.9": 100.0})
+
+    def test_duplicate_class_names_rejected(self):
+        q = QUERIES["q1.1"]
+        with pytest.raises(ValueError, match="duplicate"):
+            WorkloadSpec(classes=(QueryClass("a", q), QueryClass("a", q)))
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"arrival": "burst"}, "arrival"),
+            ({"target_rps": 0.0}, "target_rps"),
+            ({"arrival": "closed", "users": 0}, "users"),
+            ({"duration_s": 0.0}, "duration_s"),
+            ({"repetitions": 0}, "repetitions"),
+            ({"timeout_s": 0.0}, "timeout_s"),
+            ({"think_time_s": -1.0}, "think_time_s"),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            WorkloadSpec(classes=(QueryClass("a", QUERIES["q1.1"]),), **kwargs)
+
+    def test_query_class_validation(self):
+        with pytest.raises(ValueError, match="weight"):
+            QueryClass("a", QUERIES["q1.1"], weight=0.0)
+        with pytest.raises(ValueError, match="name"):
+            QueryClass("", QUERIES["q1.1"])
+
+    def test_fractions_and_by_name(self):
+        spec = small_mix()
+        assert spec.fractions["q1.1"] == pytest.approx(0.5)
+        assert spec.by_name("adhoc").weight == 20.0
+        with pytest.raises(KeyError):
+            spec.by_name("nope")
+
+
+class TestSchedules:
+    def test_poisson_arrivals_deterministic_and_bounded(self):
+        a = poisson_arrivals(200.0, 5.0, random.Random(42))
+        b = poisson_arrivals(200.0, 5.0, random.Random(42))
+        assert a == b
+        assert a == sorted(a)
+        assert all(0 < offset < 5.0 for offset in a)
+
+    def test_poisson_arrival_count_tracks_target_rate(self):
+        counts = [len(poisson_arrivals(200.0, 5.0, random.Random(seed))) for seed in range(20)]
+        mean = sum(counts) / len(counts)
+        # Poisson(1000): the 20-sample mean lands within a few sigma.
+        assert 900 < mean < 1100
+
+    def test_class_sequence_deterministic_and_weighted(self):
+        spec = small_mix()
+        a = class_sequence(spec, 2000, random.Random(3))
+        b = class_sequence(spec, 2000, random.Random(3))
+        assert [qclass.name for qclass in a] == [qclass.name for qclass in b]
+        share = sum(1 for qclass in a if qclass.name == "q1.1") / len(a)
+        assert 0.4 < share < 0.6  # the 50% class gets about half the picks
+
+
+class TestPercentiles:
+    def test_matches_numpy_linear_interpolation(self):
+        rng = np.random.default_rng(7)
+        values = rng.exponential(10.0, size=137).tolist()
+        for q in (0, 25, 50, 90, 95, 99, 100):
+            assert percentile(values, q) == pytest.approx(float(np.percentile(values, q)))
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0], 101)
+
+    def test_class_stats_folds_outcomes(self):
+        outcomes = [("ok", 10.0), ("ok", 20.0), ("rejected", 0.1), ("timeout", 50.0), ("error", 1.0)]
+        stats = ClassStats.from_outcomes("probe", outcomes, duration_s=2.0)
+        assert stats.requests == 5 and stats.completed == 2
+        assert stats.rejected == 1 and stats.timed_out == 1 and stats.failed == 1
+        assert stats.throughput_rps == pytest.approx(1.0)
+        assert stats.mean_ms == pytest.approx(15.0)
+        assert stats.p50_ms == pytest.approx(15.0)  # percentiles over completed only
+        assert stats.max_ms == pytest.approx(20.0)
+        assert stats.failure_rate == pytest.approx(0.4)
+        assert stats.rejection_rate == pytest.approx(0.2)
+
+    def test_class_stats_empty_completion_has_no_percentiles(self):
+        stats = ClassStats.from_outcomes("probe", [("rejected", 0.1)], duration_s=1.0)
+        assert stats.p99_ms is None and stats.mean_ms is None
+        assert stats.rejection_rate == 1.0
+
+    def test_class_stats_rejects_unknown_status(self):
+        with pytest.raises(ValueError, match="unknown outcome"):
+            ClassStats.from_outcomes("probe", [("exploded", 1.0)], duration_s=1.0)
+
+
+class TestDriver:
+    @pytest.fixture(scope="class")
+    def session(self, tiny_ssb):
+        with Session(tiny_ssb, cache=False) as session:
+            yield session
+
+    def test_poisson_run_below_saturation_completes_everything(self, session):
+        spec = small_mix(target_rps=40.0, seed=11)
+        report = WorkloadDriver(session, spec).run(run="smoke")
+        aggregate = report.aggregate
+        assert aggregate.requests > 0
+        assert aggregate.completed == aggregate.requests
+        assert aggregate.failed == 0 and aggregate.rejected == 0
+        assert aggregate.p99_ms is not None and aggregate.p99_ms > 0
+        assert not report.errors
+
+    def test_schedule_is_deterministic_across_runs(self, session):
+        spec = small_mix(target_rps=60.0, seed=5)
+        first = WorkloadDriver(session, spec).run()
+        second = WorkloadDriver(session, spec).run()
+        per_class = lambda report: {  # noqa: E731 - tiny local projection
+            tag: stats.requests for tag, stats in report.repetitions[0].per_class.items()
+        }
+        assert per_class(first) == per_class(second)
+
+    def test_closed_loop_self_limits(self, session):
+        spec = small_mix(arrival="closed", users=3, seed=2)
+        report = WorkloadDriver(session, spec).run(run="closed")
+        aggregate = report.aggregate
+        assert aggregate.completed == aggregate.requests > 0
+        assert report.repetitions[0].service["peak_inflight"] <= 3
+
+    def test_overloaded_run_rejects_cleanly(self, session):
+        spec = small_mix(target_rps=500.0, duration_s=0.4, seed=9)
+        report = WorkloadDriver(
+            session,
+            spec,
+            service_config={"max_inflight": 1, "max_queue_depth": 1},
+        ).run(run="overload")
+        aggregate = report.aggregate
+        assert aggregate.rejected > 0  # admission control did its job
+        assert aggregate.failed == 0 and not report.errors  # and nothing broke
+        assert aggregate.completed > 0
+
+    def test_repetitions_differ_but_reproduce(self, session):
+        spec = small_mix(target_rps=50.0, repetitions=2, seed=4)
+        report = WorkloadDriver(session, spec).run()
+        assert len(report.repetitions) == 2
+        counts = [result.aggregate.requests for result in report.repetitions]
+        assert counts[0] != counts[1]  # rep r seeds from seed + r
+
+    def test_service_config_cannot_override_spec(self, session):
+        with pytest.raises(ValueError, match="engine"):
+            WorkloadDriver(session, small_mix(), service_config={"engine": "gpu"})
+
+    def test_warmup_runs_every_class_once(self, session):
+        spec = small_mix(target_rps=30.0, seed=8)
+        report = WorkloadDriver(session, spec).run()
+        service = report.repetitions[0].service
+        assert service["warmup_requests"] == len(spec.classes)
+        # Warmup traffic is not measured: submitted covers it, the rows don't.
+        assert service["submitted"] == report.aggregate.requests + service["warmup_requests"]
+
+
+class TestArtifacts:
+    @pytest.fixture(scope="class")
+    def report(self, tiny_ssb):
+        with Session(tiny_ssb, cache=False) as session:
+            spec = small_mix(target_rps=40.0, repetitions=2, seed=13)
+            yield WorkloadDriver(session, spec).run(run="artifact")
+
+    def test_run_table_rows_shape(self, report):
+        rows = report.rows()
+        # One aggregate row plus one per active class, per repetition.
+        assert all(set(row) == set(RUN_TABLE_COLUMNS) for row in rows)
+        for rep in (0, 1):
+            rep_rows = [row for row in rows if row["repetition"] == rep]
+            assert rep_rows[0]["class"] == ALL_CLASSES
+            assert rep_rows[0]["requests"] == sum(row["requests"] for row in rep_rows[1:])
+
+    def test_run_table_csv_round_trips(self, report, tmp_path):
+        path = tmp_path / "run_table.csv"
+        report.write_run_table(str(path))
+        text = path.read_text(encoding="utf-8")
+        assert text == render_run_table(report.rows())
+        header, *lines = text.strip().splitlines()
+        assert header == ",".join(RUN_TABLE_COLUMNS)
+        assert len(lines) == len(report.rows())
+
+    def test_summary_is_json_serializable_and_repetition_aware(self, report, tmp_path):
+        summary = report.summary()
+        text = json.dumps(summary)  # must not hit a non-JSON type anywhere
+        assert "artifact" in text
+        entry = summary["classes"][ALL_CLASSES]
+        assert entry["repetitions"] == 2
+        assert entry["p99_ms"]["min"] <= entry["p99_ms"]["mean"] <= entry["p99_ms"]["max"]
+        path = tmp_path / "summary.json"
+        report.write_summary(str(path))
+        assert json.loads(path.read_text(encoding="utf-8")) == json.loads(text)
+
+    def test_summarize_never_pools_percentiles(self, report):
+        summary = summarize_repetitions(report.repetitions)
+        reps = report.repetitions
+        p99s = [result.aggregate.p99_ms for result in reps]
+        assert summary[ALL_CLASSES]["p99_ms"]["mean"] == pytest.approx(sum(p99s) / len(p99s))
+
+    def test_str_renders_summary_table(self, report):
+        text = str(report)
+        assert "workload artifact" in text
+        assert ALL_CLASSES in text and "p99ms" in text
