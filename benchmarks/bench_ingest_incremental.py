@@ -1,0 +1,159 @@
+"""Incremental standing-query maintenance vs from-scratch re-evaluation.
+
+The streaming subsystem's value proposition, measured: after each sealed
+micro-batch, a registered :class:`~repro.ingest.StandingQuery` evaluates
+the pipeline over *only the newly appended zones* and merges grouped
+partials, instead of re-running the whole query over the grown table.
+This benchmark appends a sequence of zone-aligned batches to a fresh SSB
+database and times both maintenance strategies per batch:
+
+1. **incremental** -- ``StandingQuery.refresh()`` for a panel of standing
+   queries (one per SSB flight, plus the full 13 when ``--all-queries``),
+   exactly the work :meth:`~repro.api.Session.ingest` triggers.
+2. **from-scratch** -- a cold re-evaluation of the same queries over the
+   grown table (fresh caches, so nothing learned earlier is reused),
+   which is what a system without versioned invalidation has to do.
+
+Answers are asserted byte-identical between the two strategies at every
+version before anything is timed -- the speedup is never bought with
+staleness.  The report records per-batch timings, the speedup, and the
+delta-proportionality evidence (build-cache hits vs misses on the
+standing handles).
+
+Run standalone (CI smoke uses SF 0.02 and enforces ``--min-speedup``)::
+
+    PYTHONPATH=src python benchmarks/bench_ingest_incremental.py --scale-factor 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from bench_util import time_best, write_json_atomic
+from repro.api import Session
+from repro.engine.plan import execute_query, execute_query_monolithic
+from repro.ssb.generator import generate_lineorder_batch, generate_ssb
+from repro.ssb.queries import QUERIES, QUERY_ORDER
+from repro.storage.zonemap import DEFAULT_ZONE_SIZE
+
+DEFAULT_SCALE_FACTOR = 0.05
+DEFAULT_SEED = 7
+PANEL = ["q1.1", "q2.1", "q3.1", "q4.1"]  # one query per SSB flight
+
+
+def _copy_state(state: dict) -> dict:
+    return {k: (dict(v) if isinstance(v, dict) else v) for k, v in state.items()}
+
+
+def run_bench(scale_factor: float, seed: int, batches: int, batch_zones: int,
+              repeats: int, names: list[str]) -> dict:
+    batch_rows = batch_zones * DEFAULT_ZONE_SIZE
+    db = generate_ssb(scale_factor=scale_factor, seed=seed)
+    session = Session(db)
+    standing = {name: session.register_standing(QUERIES[name]) for name in names}
+
+    steps = []
+    for step in range(batches):
+        # A refresh consumes its delta, so to take best-of-N samples of
+        # the *same* fold the handles' version frontier (row watermark,
+        # versions, per-group state) is rewound between repeats.  Each
+        # sample then does exactly the work one Session.ingest triggers.
+        frontier = {
+            name: (h._rows, dict(h._versions), _copy_state(h._state))
+            for name, h in standing.items()
+        }
+        arrays = generate_lineorder_batch(db, batch_rows, seed=seed + 1000 + step)
+        db.table("lineorder").append(arrays)
+        rows = db.table("lineorder").num_rows
+
+        def incremental_once():
+            for name, handle in standing.items():
+                handle._rows, versions, state = frontier[name][0], frontier[name][1], frontier[name][2]
+                handle._versions = dict(versions)
+                handle._state = _copy_state(state)
+                handle.refresh()
+
+        incremental_s = time_best(incremental_once, repeats)
+
+        # The no-maintenance baseline: the same functional pipeline, cold,
+        # over the whole grown table (nothing reused across versions).
+        def from_scratch():
+            return [execute_query(db, QUERIES[name])[0] for name in names]
+
+        scratch_s = time_best(from_scratch, repeats)
+
+        # Correctness gate: the incrementally merged answer (left by the
+        # last repeat) equals the monolithic reference at this version.
+        for name in names:
+            reference, _ = execute_query_monolithic(db, QUERIES[name])
+            if standing[name].answer() != reference:
+                raise AssertionError(f"standing {name} diverged at step {step}")
+
+        steps.append({
+            "step": step,
+            "total_rows": rows,
+            "batch_rows": batch_rows,
+            "incremental_s": incremental_s,
+            "from_scratch_s": scratch_s,
+            "speedup": scratch_s / incremental_s if incremental_s > 0 else float("inf"),
+        })
+
+    # Delta-proportionality evidence: across the whole run the long-lived
+    # handles' dimension artifacts were built once and hit ever after.
+    build_info = {name: tuple(standing[name].build_cache_info()) for name in names}
+    speedups = [s["speedup"] for s in steps]
+    return {
+        "scale_factor": scale_factor,
+        "seed": seed,
+        "batch_zones": batch_zones,
+        "queries": names,
+        "steps": steps,
+        "min_speedup": min(speedups),
+        "mean_speedup": sum(speedups) / len(speedups),
+        "standing_build_cache": build_info,
+        "ticks": {name: standing[name].ticks for name in names},
+        "full_refreshes": {name: standing[name].full_refreshes for name in names},
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale-factor", type=float, default=DEFAULT_SCALE_FACTOR)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--batches", type=int, default=3, help="ingest steps to measure")
+    parser.add_argument("--batch-zones", type=int, default=1,
+                        help="zones (x4096 rows) appended per step")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--all-queries", action="store_true",
+                        help="maintain all 13 SSB queries, not one per flight")
+    parser.add_argument("--output", default="BENCH_ingest.json")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless every step's incremental speedup meets this floor")
+    args = parser.parse_args()
+
+    names = list(QUERY_ORDER) if args.all_queries else PANEL
+    report = run_bench(args.scale_factor, args.seed, args.batches,
+                       args.batch_zones, args.repeats, names)
+
+    print(f"incremental maintenance vs from-scratch, SF {args.scale_factor:g}, "
+          f"{args.batch_zones * DEFAULT_ZONE_SIZE} rows/batch, {len(names)} queries")
+    for step in report["steps"]:
+        print(f"  step {step['step']}: {step['total_rows']:>8} rows  "
+              f"incremental {step['incremental_s'] * 1e3:8.2f} ms  "
+              f"from-scratch {step['from_scratch_s'] * 1e3:8.2f} ms  "
+              f"speedup {step['speedup']:6.1f}x")
+    print(f"  min speedup {report['min_speedup']:.1f}x, "
+          f"mean {report['mean_speedup']:.1f}x")
+
+    write_json_atomic(args.output, report)
+    print(f"wrote {args.output}")
+
+    if args.min_speedup is not None and report["min_speedup"] < args.min_speedup:
+        raise SystemExit(
+            f"incremental speedup floor violated: min {report['min_speedup']:.2f}x "
+            f"< required {args.min_speedup:.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -45,7 +45,7 @@ Quickstart::
     print(session.compare(orders, engines=["cpu", "gpu", "coprocessor"]))
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.api import (
     Q,
@@ -71,7 +71,9 @@ from repro.engine import (
     QueryResult,
     lower_query,
 )
+from repro.ingest import IngestBuffer, StandingQuery
 from repro.service import (
+    IngestResult,
     OverloadError,
     QueryService,
     QueryTimeoutError,
@@ -89,6 +91,8 @@ __all__ = [
     "FilterSpec",
     "GPUStandaloneEngine",
     "HyperLikeEngine",
+    "IngestBuffer",
+    "IngestResult",
     "JoinOrderPlanner",
     "LogicalPlan",
     "MonetDBLikeEngine",
@@ -111,6 +115,7 @@ __all__ = [
     "SSBQuery",
     "ServiceResult",
     "Session",
+    "StandingQuery",
     "WorkloadDriver",
     "WorkloadReport",
     "WorkloadSpec",

@@ -48,7 +48,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.api.builder import QueryBuilder
 from repro.api.registry import DEFAULT_REGISTRY, Engine, EngineRegistry
@@ -69,6 +69,11 @@ from repro.engine.physical import lower_query, staged_builds
 from repro.engine.planner import JoinOrderPlanner
 from repro.ssb.queries import SSBQuery
 from repro.storage import Database
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (ingest imports api)
+    import numpy as np
+
+    from repro.ingest.standing import StandingQuery
 
 #: The engines Session.compare uses when none are named: the paper's three
 #: execution strategies (Figure 3's comparison).
@@ -208,6 +213,8 @@ class Session:
         self._zone_cache = ZoneMapCache(db, zone_size=zone_size) if zones else None
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
+        self._standing: "dict[str, StandingQuery]" = {}
+        self._standing_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -249,7 +256,8 @@ class Session:
         cache that ``run_many(..., share_builds=True)`` populates;
         ``cache="zones"`` reports the zone-map statistics cache and the
         data-skipping counters (zones skipped / taken whole / evaluated,
-        rows pruned without being touched).
+        rows pruned without being touched).  :meth:`clear_caches` drops all
+        three caches and zeroes every counter reported here in one call.
         """
         if cache in ("builds", "build"):
             return self._build_cache.info()
@@ -305,14 +313,94 @@ class Session:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def clear_cache(self) -> None:
-        """Drop every memoized execution, build artifact, and zone map (e.g.
-        after mutating the database)."""
+    def clear_caches(self) -> None:
+        """Drop the execution, build-artifact, and zone-map caches in one call.
+
+        Every cache's entries are dropped *and* its counters are reset to
+        zero (hits, misses, and the zone-skipping tallies reported by
+        :meth:`cache_info`), so a benchmark or test can bracket a phase with
+        ``clear_caches()`` and read fresh counters afterwards.  Note that
+        ingest does **not** need this: appends bump the owning table's
+        version, and every cache keys (or validates) its entries by
+        ``(table, version)``, so stale entries are simply never consulted
+        again -- ``clear_caches`` is for reclaiming memory or resetting
+        counters, not for correctness.
+        """
         if self._cache is not None:
             self._cache.clear()
         self._build_cache.clear()
         if self._zone_cache is not None:
             self._zone_cache.clear()
+
+    # Backwards-compatible alias (pre-ingest sessions named it clear_cache).
+    clear_cache = clear_caches
+
+    # ------------------------------------------------------------------
+    def table_versions(self) -> dict[str, int]:
+        """The current published version of every table in the database.
+
+        Versions start at 0 and bump once per successful
+        :meth:`~repro.storage.Table.append`.  The serving layer stamps each
+        request's trace with this mapping so a replayed trace records
+        exactly which data every query ran against.
+        """
+        return {
+            name: getattr(table, "version", 0)
+            for name, table in sorted(self.db.tables.items())
+        }
+
+    def ingest(self, table: str, arrays: "dict[str, np.ndarray | Sequence]") -> int:
+        """Append one micro-batch to ``table`` and refresh standing queries.
+
+        The append is atomic (seal-then-publish: readers admitted before the
+        version flip keep the old columns, readers after it see the whole
+        batch) and returns the table's new version.  Caches are *not*
+        cleared -- they key by ``(table, version)``, so artifacts built
+        against other tables keep hitting and only this table's entries are
+        rebuilt on next use.  Registered standing queries are refreshed
+        incrementally before the call returns: each one evaluates its
+        pipeline over only the newly sealed zones and merges the delta into
+        its grouped partial state.
+        """
+        version = self.db.table(table).append(arrays)
+        for standing in self.standing_queries().values():
+            standing.refresh()
+        return version
+
+    def register_standing(
+        self, query: SSBQuery | QueryBuilder, *, name: str | None = None
+    ) -> "StandingQuery":
+        """Register an aggregate query for incremental maintenance.
+
+        The query is evaluated once, in full, at the current version; after
+        that every :meth:`ingest` refreshes it by running the pipeline over
+        just the appended fact rows and merging the grouped partials --
+        byte-identical to a from-scratch run at every version (the
+        differential suite proves it).  Returns the live
+        :class:`~repro.ingest.StandingQuery` handle; read ``.answer()`` for
+        the maintained result.
+        """
+        from repro.ingest.standing import StandingQuery
+
+        prepared = self.prepare(query)
+        key = name if name is not None else prepared.name
+        standing = StandingQuery(self, prepared, name=key)
+        with self._standing_lock:
+            if key in self._standing:
+                raise ValueError(f"standing query {key!r} already registered")
+            self._standing[key] = standing
+        standing.refresh()
+        return standing
+
+    def unregister_standing(self, name: str) -> None:
+        """Remove a standing query registered under ``name``."""
+        with self._standing_lock:
+            del self._standing[name]
+
+    def standing_queries(self) -> "dict[str, StandingQuery]":
+        """A snapshot of the registered standing queries, by name."""
+        with self._standing_lock:
+            return dict(self._standing)
 
     def _execute(self, engine_name: str, prepared: SSBQuery, cache: bool | None) -> ResultSet:
         chosen = self.engine(engine_name)
@@ -422,7 +510,7 @@ class Session:
                 if self._zone_cache is not None:
                     stack.enter_context(activate_zones(self._zone_cache))
                 for build in builds:
-                    build_cache.fetch(self.db, build.key, lambda: build.build(self.db))
+                    build.fetch_artifact(self.db, build_cache)
             # Phase 2: per-query probe/aggregate stages; every BuildLookup
             # now resolves from the shared artifact cache.
             return [

@@ -35,6 +35,15 @@ Three caches live here, all activated through context-local scopes:
   zone skip/take/evaluate counters, surfaced through
   ``Session.cache_info("zones")``.
 
+All three caches invalidate by **(table, version)** under streaming ingest
+(:meth:`repro.storage.Table.append` bumps a monotonic per-table version):
+execution memo keys fold in :func:`table_versions`, build-artifact keys
+carry the dimension's version (:meth:`repro.engine.physical.BuildLookup.
+fetch_artifact`), and :meth:`ZoneMapCache.maps` *extends* a grown table's
+statistics incrementally instead of rebuilding them.  An append to one
+dimension therefore invalidates exactly that dimension's artifacts; every
+other entry keeps hitting.
+
 The active-cache slots are :class:`contextvars.ContextVar`, not module
 globals: nested :func:`activate` scopes restore the previous cache on exit
 via tokens, and concurrent batch executions (threads or asyncio tasks) each
@@ -89,6 +98,7 @@ class CounterSnapshot(NamedTuple):
     zones_taken: int = 0
     zones_evaluated: int = 0
     rows_pruned: int = 0
+    zone_extensions: int = 0
 
     def __sub__(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
         return CounterSnapshot(*(a - b for a, b in zip(self, earlier)))
@@ -129,7 +139,36 @@ def snapshot_counters(
         zones_taken=zone_info.zones_taken if zone_info else 0,
         zones_evaluated=zone_info.zones_evaluated if zone_info else 0,
         rows_pruned=zone_info.rows_pruned if zone_info else 0,
+        zone_extensions=zone_info.extended if zone_info else 0,
     )
+
+
+def table_versions(db, query) -> "tuple[tuple[str, int], ...] | None":
+    """The ``(table, version)`` pairs a query's answer depends on, sorted.
+
+    The versioning half of every cache key: an answer (and its profile)
+    is a pure function of the query spec plus the contents of the fact
+    table and every joined dimension, and contents are identified by the
+    table's monotonic :attr:`~repro.storage.Table.version`.  Returns
+    ``None`` for hand-built specs whose shape cannot be introspected --
+    those fall through uncached, exactly like unhashable specs do.
+    """
+    try:
+        names = [query.fact]
+        for join in query.joins:
+            names.append(join.dimension)
+            source = getattr(join, "source", None)
+            if source is not None:
+                names.append(source)
+    except (AttributeError, TypeError):
+        return None
+    tables = getattr(db, "tables", None)
+    if tables is None:
+        return None
+    versions = {
+        name: getattr(tables[name], "version", 0) for name in names if name in tables
+    }
+    return tuple(sorted(versions.items()))
 
 
 class ExecutionCache:
@@ -160,24 +199,43 @@ class ExecutionCache:
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
-    def fetch(self, db, query, compute: Callable):
-        """``compute(db, query)``, memoized per query for the bound database."""
-        if db is not self.db:
-            return compute(db, query)
+    def _key(self, db, query):
+        """The memo key: the spec plus the versions of the tables it reads.
+
+        Folding :func:`table_versions` into the key is how streaming
+        ingest invalidates by ``(table, version)`` instead of wiping the
+        memo: an append bumps the fact (or one dimension's) version, so
+        post-append fetches simply miss into a new entry while answers for
+        other tables -- and for the *old* version, while it stays resident
+        -- keep replaying.  Stale versions age out of the LRU naturally.
+        ``None`` means "don't cache" (unhashable or uninspectable spec).
+        """
         try:
             hash(query)
         except TypeError:  # a hand-built spec holding e.g. a list constant
+            return None
+        versions = table_versions(db, query)
+        if versions is None:
+            return None
+        return (query, versions)
+
+    def fetch(self, db, query, compute: Callable):
+        """``compute(db, query)``, memoized per (query, table versions)."""
+        if db is not self.db:
+            return compute(db, query)
+        key = self._key(db, query)
+        if key is None:
             return compute(db, query)
         with self._lock:
-            cached = self._entries.get(query)
+            cached = self._entries.get(key)
             if cached is not None:
                 self.hits += 1
-                self._entries.move_to_end(query)
+                self._entries.move_to_end(key)
                 return copy.deepcopy(cached)
             self.misses += 1
         value, profile = compute(db, query)
         with self._lock:
-            self._entries[query] = (copy.deepcopy(value), copy.deepcopy(profile))
+            self._entries[key] = (copy.deepcopy(value), copy.deepcopy(profile))
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
         return value, profile
@@ -186,12 +244,11 @@ class ExecutionCache:
         """Whether ``fetch`` would replay ``query`` without executing it."""
         if db is not self.db:
             return False
-        try:
-            hash(query)
-        except TypeError:  # unhashable hand-built spec
+        key = self._key(db, query)
+        if key is None:
             return False
         with self._lock:
-            return query in self._entries
+            return key in self._entries
 
     def info(self) -> CacheInfo:
         """Hit/miss counters and occupancy."""
@@ -333,6 +390,10 @@ class ZoneInfo(NamedTuple):
     zones_taken: int
     zones_evaluated: int
     rows_pruned: int
+    #: Incremental zone-map maintenance events: an append-grown table whose
+    #: statistics were *extended* (sealed zones reused, tail re-reduced,
+    #: packed twins repacked only in the affected words) instead of rebuilt.
+    extended: int = 0
 
 
 class ZoneMapCache:
@@ -360,6 +421,7 @@ class ZoneMapCache:
         self.packed_max_bits = PACKED_MAX_BITS if packed_max_bits is None else packed_max_bits
         self.hits = 0
         self.misses = 0
+        self.extended = 0
         self.zones_skipped = 0
         self.zones_taken = 0
         self.zones_evaluated = 0
@@ -369,19 +431,41 @@ class ZoneMapCache:
 
     # ------------------------------------------------------------------
     def maps(self, db, table):
-        """The (memoized) zone statistics of ``table``, or ``None`` off-database."""
+        """The (memoized) zone statistics of ``table``, or ``None`` off-database.
+
+        Version-aware: the cached :class:`TableZoneMaps` is bound to one
+        frozen snapshot of the table, and a request for a *newer* version
+        (the table grew by appends) extends it incrementally -- sealed-zone
+        statistics and packed-twin words carry forward, only the tail is
+        re-reduced (``extended`` counts these maintenance events).  A
+        same-version request is a plain hit; anything that is not an
+        append-grown successor (shrunk, replaced) rebuilds from scratch.
+        One version of each table's maps is resident at a time, so every
+        caller of a given version receives the *same instance* -- which is
+        what lets :class:`~repro.engine.physical.ScanFilter` check
+        classification staleness by identity.
+        """
         from repro.storage.zonemap import TableZoneMaps
 
         if db is not self.db:
             return None
+        snap = table.snapshot() if hasattr(table, "snapshot") else table
+        version = getattr(snap, "version", 0)
         with self._lock:
-            maps = self._tables.get(table.name)
+            maps = self._tables.get(snap.name)
             if maps is not None:
-                self.hits += 1
-                return maps
+                cached_version = getattr(maps.table, "version", 0)
+                if cached_version == version and maps.table.num_rows == snap.num_rows:
+                    self.hits += 1
+                    return maps
+                if cached_version < version and maps.table.num_rows <= snap.num_rows:
+                    maps = maps.extended_to(snap)
+                    self._tables[snap.name] = maps
+                    self.extended += 1
+                    return maps
             self.misses += 1
-            maps = TableZoneMaps(table, zone_size=self.zone_size, packed_max_bits=self.packed_max_bits)
-            self._tables[table.name] = maps
+            maps = TableZoneMaps(snap, zone_size=self.zone_size, packed_max_bits=self.packed_max_bits)
+            self._tables[snap.name] = maps
             return maps
 
     def record(self, skipped: int = 0, taken: int = 0, evaluated: int = 0, rows_pruned: int = 0) -> None:
@@ -403,6 +487,7 @@ class ZoneMapCache:
                 zones_taken=self.zones_taken,
                 zones_evaluated=self.zones_evaluated,
                 rows_pruned=self.rows_pruned,
+                extended=self.extended,
             )
 
     def clear(self) -> None:
@@ -411,6 +496,7 @@ class ZoneMapCache:
             self._tables.clear()
             self.hits = 0
             self.misses = 0
+            self.extended = 0
             self.zones_skipped = 0
             self.zones_taken = 0
             self.zones_evaluated = 0

@@ -332,6 +332,15 @@ class ScanFilter:
         self.term = term
         #: Tri-state per-zone fold of ``term`` (None = statistics silent).
         self.zone_cls = zone_cls
+        #: The exact :class:`TableZoneMaps` instance the classification was
+        #: folded against (set by :func:`lower`).  Under streaming ingest a
+        #: zone-count check is not enough -- an append can change the tail
+        #: zone's *contents* without changing the zone count -- so at run
+        #: time the classification only applies when the pipeline's maps
+        #: are this very instance (the version-aware
+        #: :class:`~repro.engine.cache.ZoneMapCache` memoizes one instance
+        #: per version, making identity equivalent to version equality).
+        self.zone_maps: TableZoneMaps | None = None
 
     def run(self, state: PipelineState) -> None:
         profile = state.profile
@@ -347,8 +356,12 @@ class ScanFilter:
             )
         rows_in = state.rows_alive
         cls = self.zone_cls
-        if cls is not None and (state.zones is None or cls.shape[0] != state.zones.num_zones):
-            cls = None  # classified under different zone geometry; ignore
+        if cls is not None and (
+            state.zones is None
+            or (self.zone_maps is not None and state.zones is not self.zone_maps)
+            or cls.shape[0] != state.zones.num_zones
+        ):
+            cls = None  # classified against other data or geometry; ignore
         if state.sel is None:
             if cls is None:
                 state.sel = np.flatnonzero(evaluate_pred(state.fact, self.term))
@@ -454,8 +467,31 @@ class BuildLookup:
         ``artifact.key_base``, so compact and seed-layout artifacts mix
         freely (the shared build cache may hold either).
         """
+        dimension = db.table(self.join.dimension)
+        if hasattr(dimension, "snapshot"):
+            dimension = dimension.snapshot()
+        return self._build_from(db, dimension)
+
+    def fetch_artifact(self, db: Database, cache: BuildArtifactCache | None) -> BuildArtifact:
+        """The artifact for the dimension's *current* version, cached.
+
+        The ingest-aware fetch path: one snapshot of the dimension pins the
+        data, and the cache key is ``(build_key, version)`` of that very
+        snapshot -- so the key and the built content can never disagree, an
+        append to the dimension simply misses into a fresh versioned entry
+        (stale versions age out of the LRU), and appends to *other* tables
+        leave this dimension's artifacts hitting.
+        """
+        dimension = db.table(self.join.dimension)
+        if hasattr(dimension, "snapshot"):
+            dimension = dimension.snapshot()
+        if cache is None:
+            return self._build_from(db, dimension)
+        key = (self.key, getattr(dimension, "version", 0))
+        return cache.fetch(db, key, lambda: self._build_from(db, dimension))
+
+    def _build_from(self, db: Database, dimension: Table) -> BuildArtifact:
         join = self.join
-        dimension = db.table(join.dimension)
         dim_mask = evaluate_pred(dimension, join.predicate)
         build_rows = int(np.count_nonzero(dim_mask))
         base = 0
@@ -494,14 +530,9 @@ class BuildLookup:
         )
 
     def run(self, state: PipelineState) -> None:
-        cache = state.build_cache
-        if cache is not None:
-            # fetch() falls through to an uncached build when the key is
-            # unhashable, so exotic hand-built predicates still execute.
-            artifact = cache.fetch(state.db, self.key, lambda: self.build(state.db))
-        else:
-            artifact = self.build(state.db)
-        state.artifacts[id(self.join)] = artifact
+        # fetch_artifact() falls through to an uncached build when the key
+        # is unhashable, so exotic hand-built predicates still execute.
+        state.artifacts[id(self.join)] = self.fetch_artifact(state.db, state.build_cache)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BuildLookup({self.join.dimension!r} on {self.join.dimension_key!r})"
@@ -800,6 +831,7 @@ def lower(logical: LogicalPlan, db: Database | None = None) -> PhysicalPlan:
         if maps is not None:
             for scan in filters:
                 scan.zone_cls = maps.classify(scan.term)
+                scan.zone_maps = maps
     return PhysicalPlan(
         logical=logical,
         filters=filters,
@@ -860,7 +892,13 @@ def execute_physical(
     """
     if build_cache is None:
         build_cache = active_build_cache()
+    # One snapshot pins the fact table for the whole execution: a concurrent
+    # append publishes a new (version, columns) state, but every operator
+    # here keeps reading this frozen, mutually consistent one -- the
+    # "admitted at version v, never a torn batch" guarantee.
     fact = db.table(plan.logical.fact)
+    if hasattr(fact, "snapshot"):
+        fact = fact.snapshot()
     n = fact.num_rows
     zone_cache = active_zone_maps()
     zones = zone_cache.maps(db, fact) if zone_cache is not None else None

@@ -372,7 +372,11 @@ def execute_query_monolithic(db: Database, query: SSBQuery) -> tuple[object, Que
     with no operator seams: no build sharing, no per-stage decomposition.
     Never consults the caches.
     """
+    # Snapshot once so a concurrent append cannot tear the pass (same
+    # guarantee as the pipeline executor; see physical.execute_physical).
     fact = db.table(query.fact)
+    if hasattr(fact, "snapshot"):
+        fact = fact.snapshot()
     n = fact.num_rows
     profile = QueryProfile(query=query.name, fact_rows=n, fact_filter_selectivity=1.0)
 
@@ -415,6 +419,8 @@ def execute_query_monolithic(db: Database, query: SSBQuery) -> tuple[object, Que
     group_columns: dict[str, np.ndarray] = {}
     for join in query.joins:
         dimension = db.table(join.dimension)
+        if hasattr(dimension, "snapshot"):
+            dimension = dimension.snapshot()
         dim_mask = evaluate_pred(dimension, join.predicate)
         build_rows = int(np.count_nonzero(dim_mask))
         lookup, present = build_dimension_lookup(dimension, join.dimension_key, dim_mask, join.payload)

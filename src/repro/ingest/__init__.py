@@ -1,0 +1,28 @@
+"""Streaming ingest: micro-batch appends and incrementally maintained queries.
+
+The storage layer already makes appends atomic and versioned
+(:meth:`repro.storage.Table.append` seals a micro-batch off to the side and
+publishes it with one tuple flip), and the engine caches invalidate by
+``(table, version)`` instead of being wiped.  This package adds the two
+pieces that turn those primitives into a streaming path:
+
+* :class:`IngestBuffer` accumulates arriving rows and seals them into
+  zone-aligned micro-batches (one :meth:`~repro.storage.Table.append` per
+  batch), so zone-map maintenance extends whole sealed zones instead of
+  repeatedly re-reducing a ragged tail.
+
+* :class:`StandingQuery` keeps a registered aggregate query's answer
+  maintained incrementally: each ingest tick evaluates the pipeline over
+  only the newly appended fact rows and merges the grouped partials into
+  persistent state -- byte-identical to a from-scratch run at every
+  version.
+
+:class:`~repro.api.Session` wires them together: ``session.ingest(...)``
+appends and refreshes every query registered via
+``session.register_standing(...)``.
+"""
+
+from repro.ingest.buffer import IngestBuffer
+from repro.ingest.standing import StandingQuery
+
+__all__ = ["IngestBuffer", "StandingQuery"]

@@ -18,6 +18,7 @@ against this layer and reports tail latencies.
 
 from repro.service.service import (
     OVERLOAD_POLICIES,
+    IngestResult,
     OverloadError,
     QueryService,
     QueryTimeoutError,
@@ -30,6 +31,7 @@ from repro.service.trace import TERMINAL_STATUSES, RequestTrace
 
 __all__ = [
     "OVERLOAD_POLICIES",
+    "IngestResult",
     "OverloadError",
     "QueryService",
     "QueryTimeoutError",

@@ -109,6 +109,20 @@ class ServiceResult:
 
 
 @dataclass(frozen=True)
+class IngestResult:
+    """One successful ingest: the published version plus its trace."""
+
+    table: str
+    version: int
+    rows: int
+    trace: RequestTrace
+
+    @property
+    def latency_ms(self) -> float:
+        return self.trace.total_ms or 0.0
+
+
+@dataclass(frozen=True)
 class ServiceStats:
     """A point-in-time summary of everything the service has seen."""
 
@@ -135,13 +149,21 @@ class ServiceStats:
 
 @dataclass
 class _Request:
-    """Internal per-request state: the spec, its future, and its trace."""
+    """Internal per-request state: the spec, its future, and its trace.
 
-    query: SSBQuery
+    ``kind`` is ``"query"`` or ``"ingest"``; ingest requests carry
+    ``payload = (table, arrays, rows)`` instead of a query spec.  Both
+    kinds flow through the same admission queue, so a workload that
+    interleaves reads and writes is governed by one overload policy.
+    """
+
+    query: Optional[SSBQuery]
     engine: str
     trace: RequestTrace
     future: asyncio.Future
     timeout_handle: Optional[asyncio.TimerHandle] = field(default=None, repr=False)
+    kind: str = "query"
+    payload: Optional[tuple] = field(default=None, repr=False)
 
 
 class QueryService:
@@ -251,10 +273,63 @@ class QueryService:
             queue_depth_seen=len(self._queue),
             inflight_seen=self._inflight,
         )
+        request = self._admit(loop, trace, query=prepared, engine=engine_name, timeout=timeout)
+        return await request.future
+
+    async def ingest(
+        self,
+        table: str,
+        arrays: dict,
+        *,
+        class_tag: Optional[str] = None,
+        timeout: "float | None | object" = ...,
+    ) -> IngestResult:
+        """Admit one micro-batch append and await its published version.
+
+        Ingests flow through the same bounded queue and worker pool as
+        queries, so reads and writes interleave under one admission policy.
+        The append itself is seal-then-publish with an atomic version flip
+        (:meth:`repro.storage.Table.append`): a query admitted at version
+        ``v`` never observes a torn batch -- it reads all of ``v`` or all
+        of a later fully-sealed version.  Registered standing queries are
+        refreshed as part of the request, on the worker.
+        """
+        if self._closing:
+            raise ServiceClosedError("QueryService is closed; no new submissions")
+        loop = asyncio.get_running_loop()
+        self.session.db.table(table)  # fail fast on an unknown table
+        rows = len(next(iter(arrays.values()))) if arrays else 0
+        trace = RequestTrace(
+            request_id=next(self._ids),
+            query=f"ingest:{table}",
+            class_tag=class_tag if class_tag is not None else f"ingest:{table}",
+            engine="-",
+            enqueued_at=time.perf_counter(),
+            enqueued_wall=time.time(),
+            queue_depth_seen=len(self._queue),
+            inflight_seen=self._inflight,
+        )
+        request = self._admit(
+            loop, trace, kind="ingest", payload=(table, arrays, rows), timeout=timeout
+        )
+        return await request.future
+
+    def _admit(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        trace: RequestTrace,
+        *,
+        query: Optional[SSBQuery] = None,
+        engine: str = "-",
+        kind: str = "query",
+        payload: Optional[tuple] = None,
+        timeout: "float | None | object" = ...,
+    ) -> _Request:
+        """Shared admission tail of :meth:`submit` and :meth:`ingest`."""
         self._stats["submitted"] += 1
         if self._inflight >= self.max_inflight and len(self._queue) >= self.max_queue_depth:
             self._overloaded(trace)
-        request = _Request(prepared, engine_name, trace, loop.create_future())
+        request = _Request(query, engine, trace, loop.create_future(), kind=kind, payload=payload)
         self._queue.append(request)
         self._stats["peak_queue_depth"] = max(self._stats["peak_queue_depth"], len(self._queue))
         timeout_s = self.timeout_s if timeout is ... else timeout
@@ -262,7 +337,7 @@ class QueryService:
             trace.timeout_s = timeout_s
             request.timeout_handle = loop.call_later(timeout_s, self._expire, request, timeout_s)
         self._dispatch(loop)
-        return await request.future
+        return request
 
     # ------------------------------------------------------------------
     def _overloaded(self, trace: RequestTrace) -> None:
@@ -321,10 +396,22 @@ class QueryService:
             )
 
     def _execute(self, request: _Request):
-        """Worker-thread body: run the query, bracketed by counter snapshots."""
+        """Worker-thread body: run the request, bracketed by counter snapshots.
+
+        Besides the cache-counter delta, the request captures the table
+        versions it ran against: queries read them at dispatch (the
+        execution snapshots each table once, so a concurrent append can
+        only ever substitute a *fresher fully-sealed* version, never a torn
+        one), ingests read them after their batch publishes.
+        """
         before = self.session.counters()
+        if request.kind == "ingest":
+            table, arrays, _rows = request.payload
+            version = self.session.ingest(table, arrays)
+            return version, self.session.counters() - before, self.session.table_versions()
+        versions = self.session.table_versions()
         result = self.session.run(request.query, engine=request.engine)
-        return result, self.session.counters() - before
+        return result, self.session.counters() - before, versions
 
     def _finish(self, request: _Request, done: asyncio.Future) -> None:
         """Loop-thread completion: settle the future, keep the pump going."""
@@ -334,7 +421,7 @@ class QueryService:
         if request.timeout_handle is not None:
             request.timeout_handle.cancel()
         try:
-            result, delta = done.result()
+            result, delta, versions = done.result()
         except Exception as exc:
             if not request.future.done():  # not already timed out
                 trace.status = "error"
@@ -343,10 +430,17 @@ class QueryService:
                 request.future.set_exception(exc)
         else:
             trace.counters = delta
+            trace.table_versions = dict(versions)
             if not request.future.done():
                 trace.status = "ok"
                 self._stats["completed"] += 1
-                request.future.set_result(ServiceResult(result, trace))
+                if request.kind == "ingest":
+                    table, _arrays, rows = request.payload
+                    request.future.set_result(
+                        IngestResult(table=table, version=result, rows=rows, trace=trace)
+                    )
+                else:
+                    request.future.set_result(ServiceResult(result, trace))
             # else: timed out while running; the computed answer is discarded.
         self.traces.append(trace)
         self._dispatch(asyncio.get_running_loop())

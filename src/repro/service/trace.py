@@ -52,6 +52,11 @@ class RequestTrace:
     counters: Optional[CounterSnapshot] = None
     error: Optional[str] = None
     timeout_s: Optional[float] = field(default=None, repr=False)
+    #: The per-table data versions the request ran against: for a query,
+    #: the versions read at dispatch onto the worker (a concurrent append
+    #: may publish a *fresher fully-sealed* version mid-run, never a torn
+    #: one); for an ingest, the versions after its batch published.
+    table_versions: Optional[dict] = None
 
     # ------------------------------------------------------------------
     @property
@@ -103,6 +108,7 @@ class RequestTrace:
             "execution_cached": self.execution_cached,
             "builds_shared": self.builds_shared,
             "rows_pruned": self.counters.rows_pruned if self.counters else 0,
+            "table_versions": self.table_versions,
             "error": self.error,
         }
 

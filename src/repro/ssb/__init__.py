@@ -15,7 +15,7 @@ provides:
   ready to be executed by the engines in :mod:`repro.engine`.
 """
 
-from repro.ssb.generator import generate_ssb
+from repro.ssb.generator import generate_lineorder_batch, generate_ssb
 from repro.ssb.queries import (
     QUERIES,
     QUERY_ORDER,
@@ -48,6 +48,7 @@ __all__ = [
     "SSB_CARDINALITIES",
     "as_pred",
     "conjuncts",
+    "generate_lineorder_batch",
     "generate_ssb",
     "ssb_table_rows",
 ]

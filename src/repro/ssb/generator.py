@@ -150,6 +150,33 @@ def _generate_lineorder(
     return table
 
 
+def generate_lineorder_batch(db: Database, num_rows: int, seed: int = 0) -> dict[str, np.ndarray]:
+    """Generate ``num_rows`` of new lineorder rows as append-ready arrays.
+
+    The streaming counterpart of :func:`generate_ssb`: the batch draws its
+    foreign keys from ``db``'s *current* dimension tables (so every new row
+    joins), continues ``lo_orderkey`` from the fact table's current row
+    count, and comes back as the plain ``{column: array}`` mapping that
+    :meth:`repro.storage.Table.append`,
+    :class:`repro.ingest.IngestBuffer.add`, and
+    :meth:`repro.api.Session.ingest` all accept.  Deterministic given
+    ``(db state, num_rows, seed)``.
+    """
+    rng = np.random.default_rng(seed)
+    fact = db.table("lineorder")
+    batch = _generate_lineorder(
+        num_rows,
+        db.table("date"),
+        db.table("customer").num_rows,
+        db.table("supplier").num_rows,
+        db.table("part").num_rows,
+        rng,
+    )
+    arrays = {name: batch[name] for name in batch.column_names()}
+    arrays["lo_orderkey"] = (np.arange(num_rows) + fact.num_rows).astype(np.int32)
+    return arrays
+
+
 def generate_ssb(scale_factor: float = 1.0, seed: int = 42, device: Device = Device.CPU) -> Database:
     """Generate the full SSB database at ``scale_factor``.
 

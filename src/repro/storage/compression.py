@@ -72,6 +72,58 @@ class BitPackedColumn:
             )
         return cls(name=name, packed=words, bit_width=width, num_values=int(values.shape[0]))
 
+    def extend(self, tail: np.ndarray) -> "BitPackedColumn":
+        """Append ``tail`` values, repacking only the affected words.
+
+        Values ``0 .. num_values - 1`` occupy bit positions strictly below
+        ``num_values * bit_width``, and :meth:`pack` zero-fills every later
+        position (including the guard word), so extension is a prefix copy
+        of the existing words plus OR-ing the new values in at their final
+        positions -- byte-identical to repacking the concatenated column
+        from scratch, as long as the widened column still needs
+        ``bit_width`` bits.  A tail value that needs more bits raises; the
+        caller (zone-map maintenance) repacks fresh in that case, which is
+        the same O(n) work a width change always costs.
+        """
+        tail = np.asarray(tail)
+        if tail.size and tail.min() < 0:
+            raise ValueError("bit packing requires non-negative values")
+        if tail.size and bits_needed(int(tail.max())) > self.bit_width:
+            raise ValueError(
+                f"tail needs {bits_needed(int(tail.max()))} bits, packed column "
+                f"{self.name!r} holds {self.bit_width}; repack from scratch"
+            )
+        if not tail.size:
+            return self
+        width = self.bit_width
+        total = self.num_values + int(tail.shape[0])
+        num_words = int((total * width + 63) // 64) + 1
+        words = np.zeros(num_words, dtype=np.uint64)
+        words[: self.packed.shape[0]] = self.packed
+
+        positions = (
+            np.arange(self.num_values, total, dtype=np.uint64) * np.uint64(width)
+        )
+        word_index = (positions >> np.uint64(6)).astype(np.int64)
+        bit_offset = positions & np.uint64(63)
+        value_bits = tail.astype(np.uint64)
+        np.bitwise_or.at(words, word_index, value_bits << bit_offset)
+        spill = np.uint64(64) - bit_offset
+        has_spill = spill < np.uint64(width)
+        if np.any(has_spill):
+            np.bitwise_or.at(
+                words,
+                word_index[has_spill] + 1,
+                value_bits[has_spill] >> spill[has_spill],
+            )
+        return BitPackedColumn(
+            name=self.name,
+            packed=words,
+            bit_width=width,
+            num_values=total,
+            reference_bytes_per_value=self.reference_bytes_per_value,
+        )
+
     def unpack(self) -> np.ndarray:
         """Decode the column back into an int64 array."""
         return self.unpack_at(np.arange(self.num_values, dtype=np.int64))

@@ -1,8 +1,23 @@
-"""Tables: named collections of equal-length columns."""
+"""Tables: named collections of equal-length columns, with versioned appends.
+
+A table's data is published as one immutable ``(version, columns)`` tuple:
+readers take a :meth:`Table.snapshot` (a single atomic read of the tuple)
+and work against a frozen view, while :meth:`Table.append` builds the grown
+column arrays off to the side and publishes them with one atomic tuple flip
+under the per-table append lock.  A reader therefore never observes a torn
+micro-batch -- it either sees all of version ``v`` or all of ``v + 1``, and
+the columns of one snapshot are always mutually consistent lengths.
+
+``version`` increases monotonically with every non-empty append, which is
+what the engine caches key invalidation on: execution memo entries, build
+artifacts, and zone maps are all keyed by ``(table, version)`` so an append
+invalidates exactly the artifacts whose inputs changed
+(:mod:`repro.engine.cache`).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
 
 import numpy as np
 
@@ -11,18 +26,64 @@ from repro.storage.column import Column
 from repro.storage.dictionary import DictionaryEncoder
 
 
-@dataclass
 class Table:
     """A columnar table.
 
     Columns are stored by name; all columns must have the same length.
     Dictionary encoders for encoded string columns are kept alongside so
     predicates can be rewritten and results decoded.
+
+    Construction (``add_column`` / ``add_encoded_column``) mutates the
+    current column dict in place and is a single-threaded setup activity,
+    exactly as before.  Once a table serves concurrent readers, the only
+    legal mutation is :meth:`append`, which publishes a whole new
+    ``(version, columns)`` state atomically.
     """
 
-    name: str
-    columns: dict[str, Column] = field(default_factory=dict)
-    dictionaries: dict[str, DictionaryEncoder] = field(default_factory=dict)
+    def __init__(
+        self,
+        name: str,
+        columns: dict[str, Column] | None = None,
+        dictionaries: dict[str, DictionaryEncoder] | None = None,
+    ) -> None:
+        self.name = name
+        self.dictionaries = dictionaries if dictionaries is not None else {}
+        #: The single published state: ``(version, columns)``.  Read it once
+        #: to get a consistent view; never mutate a published dict after a
+        #: concurrent reader may hold it (append builds a fresh dict).
+        self._published: tuple[int, dict[str, Column]] = (0, columns if columns is not None else {})
+        self._append_lock = threading.Lock()
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> dict[str, Column]:
+        """The published column dict (one atomic read of the state tuple)."""
+        return self._published[1]
+
+    @property
+    def version(self) -> int:
+        """Monotonic data version; bumped by every non-empty :meth:`append`."""
+        return self._published[0]
+
+    def snapshot(self) -> "Table":
+        """A frozen read view of the table's current published state.
+
+        The snapshot shares the column arrays and dictionaries with the
+        source (zero copy) but pins one ``(version, columns)`` pair, so a
+        query that captured it keeps seeing mutually consistent columns even
+        while appends publish newer versions.  Snapshots refuse
+        :meth:`append`; snapshotting a snapshot returns it unchanged.
+        """
+        if self._frozen:
+            return self
+        snap = Table.__new__(Table)
+        snap.name = self.name
+        snap.dictionaries = self.dictionaries
+        snap._published = self._published  # the one atomic read
+        snap._append_lock = threading.Lock()
+        snap._frozen = True
+        return snap
 
     @classmethod
     def from_arrays(cls, name: str, arrays: dict[str, np.ndarray], device: Device = Device.CPU) -> "Table":
@@ -56,6 +117,83 @@ class Table:
         self.dictionaries[name] = encoder
         return encoder
 
+    # ------------------------------------------------------------------
+    def append(self, arrays: dict) -> int:
+        """Append one micro-batch of rows and publish it atomically.
+
+        ``arrays`` maps *every* column name to an equal-length 1-D array of
+        new values.  String values for dictionary-encoded columns are
+        encoded through the table's existing encoder (unknown labels raise,
+        like predicate constants do); numeric values are cast to the stored
+        dtype with a losslessness check, so an overflowing append fails
+        instead of silently wrapping.
+
+        The grown arrays are built entirely off to the side and then
+        published with a single ``(version + 1, columns)`` tuple flip, so a
+        concurrent :meth:`snapshot` sees either the old state or the new
+        one, never a mix.  Returns the new version (the old one for an
+        empty batch, which publishes nothing).
+        """
+        if self._frozen:
+            raise ValueError(f"table {self.name!r} is a frozen snapshot; append to the source table")
+        with self._append_lock:
+            version, columns = self._published
+            if not columns:
+                raise ValueError(f"cannot append to table {self.name!r}: it has no columns yet")
+            given, have = set(arrays), set(columns)
+            if given != have:
+                missing, extra = sorted(have - given), sorted(given - have)
+                raise ValueError(
+                    f"append to table {self.name!r} must supply every column exactly once"
+                    + (f"; missing {missing}" if missing else "")
+                    + (f"; unknown {extra}" if extra else "")
+                )
+            prepared: dict[str, np.ndarray] = {}
+            batch_rows = None
+            for name, column in columns.items():
+                incoming = np.asarray(arrays[name])
+                if incoming.dtype.kind in ("U", "S", "O"):
+                    if name not in self.dictionaries:
+                        raise TypeError(
+                            f"column {name!r} of table {self.name!r} is not dictionary encoded; "
+                            f"append numeric values"
+                        )
+                    incoming = self.dictionaries[name].encode(incoming)
+                if incoming.ndim != 1:
+                    raise ValueError(f"append values for column {name!r} must be 1-D")
+                if batch_rows is None:
+                    batch_rows = int(incoming.shape[0])
+                elif int(incoming.shape[0]) != batch_rows:
+                    raise ValueError(
+                        f"ragged append to table {self.name!r}: column {name!r} has "
+                        f"{incoming.shape[0]} rows, expected {batch_rows}"
+                    )
+                if incoming.dtype != column.values.dtype:
+                    cast = incoming.astype(column.values.dtype)
+                    if not np.array_equal(cast, incoming):
+                        raise ValueError(
+                            f"append values for column {name!r} do not fit dtype "
+                            f"{column.values.dtype} losslessly"
+                        )
+                    incoming = cast
+                prepared[name] = incoming
+            if not batch_rows:
+                return version
+            new_columns = {
+                name: Column(
+                    name=name,
+                    values=np.concatenate([column.values, prepared[name]]),
+                    device=column.device,
+                    encoding=column.encoding,
+                )
+                for name, column in columns.items()
+            }
+            # Seal-then-publish: the grown state becomes visible in one
+            # atomic assignment, and only after every column is complete.
+            self._published = (version + 1, new_columns)
+            return version + 1
+
+    # ------------------------------------------------------------------
     def column(self, name: str) -> Column:
         """Look up a column by name, with a helpful error message."""
         try:
@@ -74,9 +212,10 @@ class Table:
 
     @property
     def num_rows(self) -> int:
-        if not self.columns:
+        columns = self.columns
+        if not columns:
             return 0
-        return len(next(iter(self.columns.values())))
+        return len(next(iter(columns.values())))
 
     @property
     def num_columns(self) -> int:

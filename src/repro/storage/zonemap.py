@@ -116,6 +116,61 @@ class ColumnZoneStats:
             bitsets=bitsets,
         )
 
+    def extend(self, values: np.ndarray) -> "ColumnZoneStats":
+        """Statistics of the grown column ``values``, reusing sealed zones.
+
+        ``values`` is the *full* column after an append.  Zones that were
+        fully sealed (every row already summarized) keep their min/max --
+        and their bitsets, shifted when the column-wide ``low`` dropped --
+        while the old partial tail zone and every new zone are re-reduced.
+        The result is byte-identical to :meth:`build` over ``values`` (the
+        extension tests hold the two together), so extended and fresh maps
+        prune identically; only the work is delta-proportional.
+        """
+        n = int(values.shape[0])
+        if n < self.num_rows:
+            raise ValueError(
+                f"column {self.column!r} shrank from {self.num_rows} to {n} rows; "
+                f"zone statistics only extend under appends"
+            )
+        if n == self.num_rows:
+            return self
+        sealed = self.num_rows // self.zone_size
+        tail_start = sealed * self.zone_size
+        tail_values = values[tail_start:]
+        starts = np.arange(0, n - tail_start, self.zone_size, dtype=np.int64)
+        mins = np.concatenate(
+            [self.mins[:sealed], np.minimum.reduceat(tail_values, starts).astype(np.int64)]
+        )
+        maxs = np.concatenate(
+            [self.maxs[:sealed], np.maximum.reduceat(tail_values, starts).astype(np.int64)]
+        )
+        low = int(mins.min())
+        high = int(maxs.max())
+        bitsets = None
+        if high - low + 1 <= BITSET_DOMAIN:
+            # The old span is contained in the new one, so sealed-zone
+            # bitsets (relative to the old low) re-base with one shift.
+            bits = np.uint64(1) << (tail_values.astype(np.int64) - low).astype(np.uint64)
+            tail_bitsets = np.bitwise_or.reduceat(bits, starts)
+            if sealed:
+                # A new span <= 64 implies the (contained) old span was too,
+                # so sealed zones always have bitsets to shift.
+                head = self.bitsets[:sealed] << np.uint64(self.low - low)
+            else:
+                head = np.empty(0, dtype=np.uint64)
+            bitsets = np.concatenate([head, tail_bitsets])
+        return ColumnZoneStats(
+            column=self.column,
+            zone_size=self.zone_size,
+            num_rows=n,
+            mins=mins,
+            maxs=maxs,
+            low=low,
+            high=high,
+            bitsets=bitsets,
+        )
+
     # ------------------------------------------------------------------
     def _membership(self, constants) -> np.uint64:
         """Bitset of the domain values appearing in ``constants``."""
@@ -271,6 +326,51 @@ class TableZoneMaps:
         return out
 
     # ------------------------------------------------------------------
+    def extended_to(self, table: Table) -> "TableZoneMaps":
+        """Zone maps for a grown version of this instance's table.
+
+        The incremental-maintenance path of
+        :class:`~repro.engine.cache.ZoneMapCache`: instead of throwing the
+        statistics away on every append, each already-built column carries
+        its sealed-zone stats forward (:meth:`ColumnZoneStats.extend`) and
+        each packed twin repacks only the affected words
+        (:meth:`~repro.storage.compression.BitPackedColumn.extend`) -- or
+        repacks fresh in the rare case an append widens the bit width.
+        Columns never touched stay lazy, exactly as in a fresh instance.
+
+        ``table`` must be a same-name, append-grown successor (the cache
+        guarantees this via the table version); extended statistics are
+        byte-identical to freshly built ones.
+        """
+        ext = TableZoneMaps(table, zone_size=self.zone_size, packed_max_bits=self.packed_max_bits)
+        with self._lock:
+            carried_stats = dict(self._stats)
+            carried_packed = dict(self._packed)
+        for column, stats in carried_stats.items():
+            if stats is None or column not in table:
+                # None means empty/non-integer at build time; re-derive
+                # lazily against the grown data instead of guessing.
+                continue
+            values = table[column]
+            if values.shape[0] < stats.num_rows or not np.issubdtype(values.dtype, np.integer):
+                continue
+            ext._stats[column] = stats.extend(values)
+        for column, packed in carried_packed.items():
+            stats = ext._stats.get(column)
+            if stats is None:
+                continue  # stats not carried; the twin re-derives lazily
+            if stats.low < 0 or bits_needed(stats.high) > self.packed_max_bits:
+                ext._packed[column] = None
+                continue
+            if packed is not None and bits_needed(stats.high) == packed.bit_width:
+                ext._packed[column] = packed.extend(table[column][packed.num_values :])
+            else:
+                # The append widened the domain past the old bit width (or
+                # the twin was never eligible before): pack fresh.
+                ext._packed[column] = BitPackedColumn.pack(table.column(column))
+        return ext
+
+    # ------------------------------------------------------------------
     def classify(self, pred) -> np.ndarray | None:
         """Fold a predicate tree against the zone statistics.
 
@@ -334,6 +434,19 @@ def cluster_by(db, table_name: str, column: str):
     date-derived predicates prunable.  Dimension tables and dictionaries
     are shared with the source database; only the clustered table is
     re-materialized (stable sort, so equal-key runs keep their order).
+
+    Clustering is a **one-shot physical-design decision, not an invariant**:
+    the returned table starts at version 0 and rows appended to it later
+    (:meth:`~repro.storage.Table.append`) land in arrival order at the
+    tail, *not* in cluster order.  That is sound by construction -- zone
+    classification folds per-zone statistics, so the unclustered tail
+    zones simply classify as *evaluate* for predicates the sorted prefix
+    can skip -- answers stay byte-identical, and the sorted prefix keeps
+    pruning at full strength.  Pruning effectiveness over the tail only
+    degrades to the uniform-data baseline until the caller re-clusters
+    (runs ``cluster_by`` again over the grown table), which is the
+    compaction step a production system would schedule; the appended-tail
+    test in ``tests/test_zonemap.py`` pins both halves of this contract.
     """
     # Deferred import: Database lives above this module in the package.
     from repro.storage.database import Database

@@ -15,6 +15,7 @@ from repro.api import Q, Session, col
 from repro.engine.cache import ZoneMapCache, activate_zones
 from repro.engine.physical import BuildLookup, lower_query
 from repro.engine.plan import execute_query, execute_query_monolithic
+from repro.ssb import generate_lineorder_batch, generate_ssb
 from repro.ssb.queries import QUERIES, FilterSpec, JoinSpec, SSBQuery
 from repro.storage import Table
 from repro.storage.zonemap import (
@@ -387,7 +388,7 @@ class TestSessionZones:
         session = Session(tiny_ssb, zones=False)
         session.run(QUERIES["q1.1"])
         info = session.cache_info("zones")
-        assert info == (0, 0, 0, 0, 0, 0, 0)
+        assert info == (0, 0, 0, 0, 0, 0, 0, 0)
 
     def test_unknown_cache_name_still_rejected(self, tiny_ssb):
         with pytest.raises(ValueError, match="unknown cache"):
@@ -397,7 +398,7 @@ class TestSessionZones:
         session = Session(tiny_ssb)
         session.run(QUERIES["q1.1"])
         session.clear_cache()
-        assert session.cache_info("zones") == (0, 0, 0, 0, 0, 0, 0)
+        assert session.cache_info("zones") == (0, 0, 0, 0, 0, 0, 0, 0)
 
     def test_run_many_share_builds_with_zones(self, tiny_ssb):
         queries = [QUERIES[name] for name in ("q1.1", "q2.1", "q3.1", "q4.1")]
@@ -416,3 +417,79 @@ class TestSessionZones:
         for a, b in zip(serial, threaded):
             assert a.value == b.value
             assert a.simulated_ms == b.simulated_ms
+
+
+# ----------------------------------------------------------------------
+# cluster_by + appended tail: the contract in its docstring, pinned
+# ----------------------------------------------------------------------
+
+
+class TestClusteredAppendedTail:
+    """cluster_by is a one-shot physical-design decision, not an invariant.
+
+    Rows appended after clustering land in arrival order at the tail.  The
+    ``cluster_by`` docstring promises two things about that state: answers
+    stay byte-identical (the unclustered tail zones classify as *evaluate*
+    rather than being mis-skipped), and the sorted prefix keeps pruning at
+    full strength.  Re-clustering restores full pruning over the tail.
+    """
+
+    def grown_clustered(self):
+        db = generate_ssb(scale_factor=0.01, seed=33)
+        clustered = cluster_by(db, "lineorder", "lo_orderdate")
+        band = (
+            Q("lineorder", db=clustered)
+            .filter("lo_orderdate", "lt", 19930101)
+            .agg("sum", "lo_revenue")
+            .build(clustered)
+        )
+        return clustered, band
+
+    def test_tail_zones_evaluate_prefix_keeps_pruning(self):
+        clustered, band = self.grown_clustered()
+        session = Session(clustered)
+        session.run(band)
+        before = session.cache_info("zones")
+        assert before.zones_skipped > 0  # clustering made the band prunable
+
+        # The appended batch is in arrival order: its dates span the whole
+        # domain, so its zones straddle the band predicate.
+        clustered.table("lineorder").append(
+            generate_lineorder_batch(clustered, 4096, seed=34)
+        )
+        session.run(band)
+        after = session.cache_info("zones")
+        delta_skipped = after.zones_skipped - before.zones_skipped
+        # Prefix at full strength: of the zones skipped before, only the
+        # shared partial tail zone (which now also holds appended rows and
+        # so straddles the band) may degrade to evaluate.
+        assert delta_skipped >= before.zones_skipped - 1
+        # The unclustered tail was never mis-skipped: it was evaluated.
+        assert after.zones_evaluated > before.zones_evaluated
+        # And the statistics got there by extension, not a rebuild.
+        assert after.extended == 1 and after.misses == before.misses
+
+    def test_grown_table_answers_stay_identical_on_all_planes(self):
+        clustered, band = self.grown_clustered()
+        clustered.table("lineorder").append(
+            generate_lineorder_batch(clustered, 4096, seed=34)
+        )
+        _assert_identical(clustered, band)
+        for name in ("q1.1", "q2.1", "q3.1", "q4.1"):
+            _assert_identical(clustered, QUERIES[name])
+
+    def test_reclustering_restores_full_pruning(self):
+        clustered, band = self.grown_clustered()
+        session = Session(clustered)
+        session.run(band)
+        prefix_zones = session.cache_info("zones").zones_skipped
+
+        clustered.table("lineorder").append(
+            generate_lineorder_batch(clustered, 4096, seed=34)
+        )
+        recl = cluster_by(clustered, "lineorder", "lo_orderdate")
+        fresh = Session(recl)
+        assert fresh.run(band).value == execute_query_monolithic(recl, band)[0]
+        # One more zone of data, same (or better) skip rate as before: the
+        # compaction step recovers pruning strength over the whole table.
+        assert fresh.cache_info("zones").zones_skipped >= prefix_zones
