@@ -23,10 +23,9 @@ or under pytest-benchmark alongside the other figures::
 
 from __future__ import annotations
 
-import argparse
 import json
 
-from bench_util import time_best, write_json_atomic
+from bench_util import bench_arg_parser, time_best, write_json_atomic
 from repro.api import Session
 from repro.engine.physical import lower_query
 from repro.ssb.generator import generate_ssb
@@ -108,12 +107,13 @@ def test_batched_session(run_once):
 
 
 def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale-factor", type=float, default=DEFAULT_SCALE_FACTOR)
-    parser.add_argument("--engine", default=DEFAULT_ENGINE)
-    parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--repeats", type=int, default=3)
-    parser.add_argument("--output", default="BENCH_batched.json")
+    parser = bench_arg_parser(
+        __doc__.splitlines()[0],
+        output="BENCH_batched.json",
+        scale_factor=DEFAULT_SCALE_FACTOR,
+        engine=DEFAULT_ENGINE,
+        repeats=3,
+    )
     args = parser.parse_args(argv)
 
     result = run_batched_comparison(

@@ -27,9 +27,7 @@ Run standalone (CI smoke uses SF 0.02 and enforces ``--min-speedup``)::
 
 from __future__ import annotations
 
-import argparse
-
-from bench_util import time_best, write_json_atomic
+from bench_util import bench_arg_parser, time_best, write_json_atomic
 from repro.api import Session
 from repro.engine.plan import execute_query, execute_query_monolithic
 from repro.ssb.generator import generate_lineorder_batch, generate_ssb
@@ -117,18 +115,19 @@ def run_bench(scale_factor: float, seed: int, batches: int, batch_zones: int,
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale-factor", type=float, default=DEFAULT_SCALE_FACTOR)
-    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser = bench_arg_parser(
+        __doc__.splitlines()[0],
+        output="BENCH_ingest.json",
+        scale_factor=DEFAULT_SCALE_FACTOR,
+        seed=DEFAULT_SEED,
+        repeats=3,
+        min_speedup=True,
+    )
     parser.add_argument("--batches", type=int, default=3, help="ingest steps to measure")
     parser.add_argument("--batch-zones", type=int, default=1,
                         help="zones (x4096 rows) appended per step")
-    parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--all-queries", action="store_true",
                         help="maintain all 13 SSB queries, not one per flight")
-    parser.add_argument("--output", default="BENCH_ingest.json")
-    parser.add_argument("--min-speedup", type=float, default=None,
-                        help="fail unless every step's incremental speedup meets this floor")
     args = parser.parse_args()
 
     names = list(QUERY_ORDER) if args.all_queries else PANEL

@@ -24,11 +24,9 @@ Run standalone (CI smoke uses the defaults)::
 
 from __future__ import annotations
 
-import argparse
-
 import numpy as np
 
-from bench_util import time_best, write_json_atomic
+from bench_util import bench_arg_parser, time_best, write_json_atomic
 from repro.api import Session
 from repro.engine.physical import lower_query
 from repro.engine.plan import execute_query, execute_query_monolithic, factorize_group_keys
@@ -162,13 +160,14 @@ def run_hotpath_benchmark(
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale-factor", type=float, default=DEFAULT_SCALE_FACTOR)
-    parser.add_argument("--engine", default=DEFAULT_ENGINE)
+    parser = bench_arg_parser(
+        __doc__,
+        output="BENCH_pipeline.json",
+        scale_factor=DEFAULT_SCALE_FACTOR,
+        engine=DEFAULT_ENGINE,
+        repeats=3,
+    )
     parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
-    parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--repeats", type=int, default=3)
-    parser.add_argument("--output", default="BENCH_pipeline.json")
     parser.add_argument(
         "--min-selection-speedup",
         type=float,

@@ -30,10 +30,9 @@ Run standalone (CI smoke uses SF 0.01 and a p99 sanity floor)::
 
 from __future__ import annotations
 
-import argparse
 import asyncio
 
-from bench_util import time_best, write_json_atomic
+from bench_util import bench_arg_parser, time_best, write_json_atomic
 from repro.api import Q, Session
 from repro.service import QueryService
 from repro.ssb.generator import generate_ssb
@@ -230,10 +229,13 @@ def run_slo_benchmark(args) -> tuple[dict, list, list]:
 
 
 def main(argv: "list[str] | None" = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale-factor", type=float, default=DEFAULT_SCALE_FACTOR)
-    parser.add_argument("--engine", default=DEFAULT_ENGINE)
-    parser.add_argument("--seed", type=int, default=7)
+    parser = bench_arg_parser(
+        __doc__.splitlines()[0],
+        output="BENCH_service.json",
+        scale_factor=DEFAULT_SCALE_FACTOR,
+        engine=DEFAULT_ENGINE,
+        repeats=None,
+    )
     parser.add_argument("--duration", type=float, default=1.5, help="seconds per repetition")
     parser.add_argument("--repetitions", type=int, default=2)
     parser.add_argument("--max-inflight", type=int, default=DEFAULT_MAX_INFLIGHT)
@@ -254,7 +256,6 @@ def main(argv: "list[str] | None" = None) -> None:
         default=None,
         help="fail if the below-saturation p99 lands under this floor (clock sanity)",
     )
-    parser.add_argument("--output", default="BENCH_service.json")
     parser.add_argument("--run-table", default="run_table.csv")
     args = parser.parse_args(argv)
 

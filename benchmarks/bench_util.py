@@ -2,11 +2,53 @@
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import tempfile
 import time
 from typing import Callable
+
+
+def bench_arg_parser(
+    description: str,
+    *,
+    output: str,
+    scale_factor: float = 0.05,
+    seed: int = 7,
+    repeats: "int | None" = 3,
+    engine: "str | None" = None,
+    min_speedup: bool = False,
+) -> argparse.ArgumentParser:
+    """The common CLI surface of the JSON-writing benchmark scripts.
+
+    Every report-writing bench takes the same quartet -- scale factor,
+    seed, repeats, output path -- plus, where applicable, an engine choice
+    and a ``--min-speedup`` CI floor; this factory declares them once with
+    the caller's defaults, and each script adds its own extra flags on the
+    returned parser.  ``--sf`` is accepted as shorthand for
+    ``--scale-factor``.  Pass ``repeats=None`` / ``engine=None`` to omit
+    those flags for scripts that measure differently (e.g. the duration-
+    driven service bench).
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--scale-factor", "--sf", dest="scale_factor", type=float, default=scale_factor
+    )
+    if engine is not None:
+        parser.add_argument("--engine", default=engine)
+    parser.add_argument("--seed", type=int, default=seed)
+    if repeats is not None:
+        parser.add_argument("--repeats", type=int, default=repeats)
+    parser.add_argument("--output", default=output)
+    if min_speedup:
+        parser.add_argument(
+            "--min-speedup",
+            type=float,
+            default=None,
+            help="fail (exit 1) if the measured speedup drops below this floor",
+        )
+    return parser
 
 
 def time_best(fn: Callable[[], object], repeats: int) -> float:

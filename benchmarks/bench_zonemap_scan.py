@@ -29,11 +29,9 @@ Run standalone (CI smoke uses SF 0.01 and enforces ``--min-speedup``)::
 
 from __future__ import annotations
 
-import argparse
-
 import numpy as np
 
-from bench_util import time_best, write_json_atomic
+from bench_util import bench_arg_parser, time_best, write_json_atomic
 from repro.api import Session, col
 from repro.engine.cache import ZoneMapCache, activate_zones
 from repro.engine.plan import execute_query, execute_query_monolithic
@@ -187,17 +185,14 @@ def test_zonemap_scan(run_once):
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale-factor", type=float, default=DEFAULT_SCALE_FACTOR)
-    parser.add_argument("--engine", default="cpu")
-    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    parser.add_argument("--repeats", type=int, default=5)
-    parser.add_argument("--output", default="BENCH_zonemap.json")
-    parser.add_argument(
-        "--min-speedup",
-        type=float,
-        default=None,
-        help="fail (exit 1) if the pruned plane's batch speedup drops below this floor",
+    parser = bench_arg_parser(
+        __doc__.splitlines()[0],
+        output="BENCH_zonemap.json",
+        scale_factor=DEFAULT_SCALE_FACTOR,
+        seed=DEFAULT_SEED,
+        repeats=5,
+        engine="cpu",
+        min_speedup=True,
     )
     args = parser.parse_args()
 

@@ -62,6 +62,7 @@ from repro.engine.cache import (
     ZoneMapCache,
     activate,
     activate_builds,
+    activate_shards,
     activate_zones,
     snapshot_counters,
 )
@@ -199,7 +200,11 @@ class Session:
         build_cache_size: int = 128,
         zones: bool = True,
         zone_size: int | None = None,
+        shards: int | None = None,
+        shard_start_method: str | None = None,
     ) -> None:
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.db = db
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self._planner = planner
@@ -211,6 +216,17 @@ class Session:
         # the unpruned selection-vector plane.  Answers and profiles are
         # identical either way -- only the work done differs.
         self._zone_cache = ZoneMapCache(db, zone_size=zone_size) if zones else None
+        self._zone_size = zone_size
+        # Process-parallel sharded execution (``shards=N`` here or per call):
+        # the executor -- worker pool + shared-memory plane -- is constructed
+        # lazily on the first ``shards > 1`` execution and torn down by
+        # :meth:`close`.  ``shard_start_method`` pins the multiprocessing
+        # start method (``fork``/``spawn``/``forkserver``); None means the
+        # platform default.
+        self._default_shards = shards
+        self._shard_start_method = shard_start_method
+        self._shards: "object | None" = None
+        self._shard_lock = threading.Lock()
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
         self._standing: "dict[str, StandingQuery]" = {}
@@ -280,7 +296,30 @@ class Session:
         pair of snapshots to stamp its :class:`~repro.service.RequestTrace`
         with per-request cache behaviour.
         """
-        return snapshot_counters(self._cache, self._build_cache, self._zone_cache)
+        return snapshot_counters(
+            self._cache, self._build_cache, self._zone_cache, shards=self._shards
+        )
+
+    def shard_executor(self):
+        """The session's process-shard executor, created lazily on first use.
+
+        Owns the persistent worker pool and the shared-memory fact-table
+        exports (see :mod:`repro.engine.shard`); lifecycle is tied to
+        :meth:`close`.  Constructed with the session's zone geometry so
+        shard pipelines take the same pruning decisions the monolithic
+        pipeline would.
+        """
+        with self._shard_lock:
+            if self._shards is None:
+                from repro.engine.shard import ShardExecutor
+
+                self._shards = ShardExecutor(
+                    self.db,
+                    start_method=self._shard_start_method,
+                    zones=self._zone_cache is not None,
+                    zone_size=self._zone_size,
+                )
+            return self._shards
 
     @property
     def executor(self) -> ThreadPoolExecutor:
@@ -301,11 +340,19 @@ class Session:
             return self._executor
 
     def close(self) -> None:
-        """Shut down the shared executor (idempotent; caches stay intact)."""
+        """Shut down the shared executor and the shard pool (idempotent;
+        caches stay intact).  Closing the shard executor unlinks every
+        shared-memory segment the session published, so a closed session
+        leaves ``/dev/shm`` exactly as it found it.
+        """
         with self._executor_lock:
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+        with self._shard_lock:
+            shards, self._shards = self._shards, None
+        if shards is not None:
+            shards.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -402,12 +449,26 @@ class Session:
         with self._standing_lock:
             return dict(self._standing)
 
-    def _execute(self, engine_name: str, prepared: SSBQuery, cache: bool | None) -> ResultSet:
+    def _execute(
+        self,
+        engine_name: str,
+        prepared: SSBQuery,
+        cache: bool | None,
+        shards: int | None = None,
+    ) -> ResultSet:
         chosen = self.engine(engine_name)
         use_cache = self._cache is not None and cache is not False
+        effective = shards if shards is not None else self._default_shards
+        if effective is not None and effective < 1:
+            raise ValueError(f"shards must be >= 1, got {effective}")
         with ExitStack() as stack:
             if self._zone_cache is not None:
                 stack.enter_context(activate_zones(self._zone_cache))
+            if effective is not None and effective > 1:
+                # ``shards=1`` (or None) deliberately skips the binding so
+                # it shares cache entries -- and the cache key -- with the
+                # single-process and morsel-threaded paths.
+                stack.enter_context(activate_shards(self.shard_executor().bind(effective)))
             if use_cache:
                 stack.enter_context(activate(self._cache))
             raw = chosen.run(prepared)
@@ -421,10 +482,18 @@ class Session:
         *,
         optimize: bool = False,
         cache: bool | None = None,
+        shards: int | None = None,
     ) -> ResultSet:
-        """Execute one query on one engine, returning a decoded ResultSet."""
+        """Execute one query on one engine, returning a decoded ResultSet.
+
+        ``shards=N`` (N > 1) runs the query process-parallel: the fact rows
+        split into zone-aligned ranges, each range executes in a worker
+        process over the shared-memory fact columns, and the partial
+        aggregates merge in this process -- byte-identical answers and
+        profiles, without the GIL.  Overrides the session-level default.
+        """
         prepared = self.prepare(query, optimize=optimize)
-        return self._execute(engine, prepared, cache)
+        return self._execute(engine, prepared, cache, shards=shards)
 
     def run_many(
         self,
@@ -437,6 +506,7 @@ class Session:
         workers: int = 1,
         oversubscribe: bool = False,
         return_exceptions: bool = False,
+        shards: int | None = None,
     ) -> "list[ResultSet | Exception]":
         """Execute a batch of queries on one engine.
 
@@ -472,6 +542,10 @@ class Session:
         input position instead of aborting the batch, so the surviving
         queries' ResultSets still come back, in order.  The default
         (``False``) re-raises the first failure after the pool has drained.
+
+        ``shards=N`` routes each query through the process-shard pool (see
+        :meth:`run`); intra-query process parallelism composes with the
+        inter-query ``workers`` threads, which merely dispatch and merge.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -479,11 +553,11 @@ class Session:
         effective = workers if oversubscribe else min(workers, os.cpu_count() or 1)
         if effective > 1:
             return self._run_many_threaded(
-                prepared, engine, cache, share_builds, effective, return_exceptions
+                prepared, engine, cache, share_builds, effective, return_exceptions, shards
             )
         if not share_builds:
             return [
-                self._execute_guarded(engine, query, cache, return_exceptions)
+                self._execute_guarded(engine, query, cache, return_exceptions, shards)
                 for query in prepared
             ]
 
@@ -514,17 +588,22 @@ class Session:
             # Phase 2: per-query probe/aggregate stages; every BuildLookup
             # now resolves from the shared artifact cache.
             return [
-                self._execute_guarded(engine, query, cache, return_exceptions)
+                self._execute_guarded(engine, query, cache, return_exceptions, shards)
                 for query in prepared
             ]
 
     def _execute_guarded(
-        self, engine: str, query: SSBQuery, cache: bool | None, return_exceptions: bool
+        self,
+        engine: str,
+        query: SSBQuery,
+        cache: bool | None,
+        return_exceptions: bool,
+        shards: int | None = None,
     ) -> "ResultSet | Exception":
         if not return_exceptions:
-            return self._execute(engine, query, cache)
+            return self._execute(engine, query, cache, shards=shards)
         try:
-            return self._execute(engine, query, cache)
+            return self._execute(engine, query, cache, shards=shards)
         except Exception as exc:
             return exc
 
@@ -536,6 +615,7 @@ class Session:
         share_builds: bool,
         workers: int,
         return_exceptions: bool,
+        shards: int | None = None,
     ) -> "list[ResultSet | Exception]":
         """Morsel-parallel batch execution over a thread pool.
 
@@ -561,8 +641,8 @@ class Session:
         def morsel(query: SSBQuery) -> ResultSet:
             if share_builds:
                 with activate_builds(self._build_cache):
-                    return self._execute(engine, query, cache)
-            return self._execute(engine, query, cache)
+                    return self._execute(engine, query, cache, shards=shards)
+            return self._execute(engine, query, cache, shards=shards)
 
         with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-run-many") as pool:
             futures = [pool.submit(morsel, query) for query in prepared]

@@ -99,6 +99,12 @@ class CounterSnapshot(NamedTuple):
     zones_evaluated: int = 0
     rows_pruned: int = 0
     zone_extensions: int = 0
+    #: Process-parallel sharded execution: queries dispatched to the shard
+    #: pool, shard tasks run, and queries that fell back to the monolithic
+    #: path (off-database, or an empty fact table).
+    shard_queries: int = 0
+    shard_tasks: int = 0
+    shard_fallbacks: int = 0
 
     def __sub__(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
         return CounterSnapshot(*(a - b for a, b in zip(self, earlier)))
@@ -118,16 +124,21 @@ def snapshot_counters(
     execution: "ExecutionCache | None",
     builds: "BuildArtifactCache | None",
     zones: "ZoneMapCache | None",
+    shards: object | None = None,
 ) -> CounterSnapshot:
-    """One consistent-enough reading across a session's three caches.
+    """One consistent-enough reading across a session's caches (and shard pool).
 
     Each cache is read under its own lock; there is no global lock ordering
-    the three reads, so a snapshot taken while workers run is a best-effort
+    the reads, so a snapshot taken while workers run is a best-effort
     point in time -- exactly what delta attribution needs, and no more.
+    ``shards`` is the session's shard executor, if one has been spun up
+    (anything with a ``stats()`` returning ``queries``/``tasks``/
+    ``fallbacks``).
     """
     exec_info = execution.info() if execution is not None else None
     build_info = builds.info() if builds is not None else None
     zone_info = zones.info() if zones is not None else None
+    shard_info = shards.stats() if shards is not None else None
     return CounterSnapshot(
         execution_hits=exec_info.hits if exec_info else 0,
         execution_misses=exec_info.misses if exec_info else 0,
@@ -140,6 +151,9 @@ def snapshot_counters(
         zones_evaluated=zone_info.zones_evaluated if zone_info else 0,
         rows_pruned=zone_info.rows_pruned if zone_info else 0,
         zone_extensions=zone_info.extended if zone_info else 0,
+        shard_queries=shard_info.queries if shard_info else 0,
+        shard_tasks=shard_info.tasks if shard_info else 0,
+        shard_fallbacks=shard_info.fallbacks if shard_info else 0,
     )
 
 
@@ -217,6 +231,15 @@ class ExecutionCache:
         versions = table_versions(db, query)
         if versions is None:
             return None
+        # Sharded executions (shards > 1) memoize under their own keys:
+        # answers and folded profiles are byte-identical to the monolithic
+        # plane, but per-request counter attribution differs (shard tasks
+        # ran), so a replay must not masquerade as the other plane's entry.
+        # shards=1 (and the threaded path) share the plain key -- the
+        # regression tests in ``tests/test_sharded.py`` pin both behaviours.
+        binding = active_shard_executor()
+        if binding is not None and getattr(binding, "shards", 1) > 1:
+            return (query, versions, ("shards", binding.shards))
         return (query, versions)
 
     def fetch(self, db, query, compute: Callable):
@@ -519,6 +542,12 @@ _ACTIVE_BUILDS: ContextVar[BuildArtifactCache | None] = ContextVar(
     "repro_active_build_cache", default=None
 )
 _ACTIVE_ZONES: ContextVar["ZoneMapCache | None"] = ContextVar("repro_active_zone_cache", default=None)
+#: The sharded-execution binding of the current context: an opaque object
+#: carrying ``shards`` (the effective shard count) and ``execute(db, query)``
+#: (the shard-pool dispatch).  Kept opaque so this module never imports the
+#: shard executor -- the engine layer routes through it, the API layer
+#: installs it.
+_ACTIVE_SHARDS: ContextVar[object | None] = ContextVar("repro_active_shard_binding", default=None)
 
 
 def active_cache() -> ExecutionCache | None:
@@ -564,3 +593,26 @@ def activate_zones(cache: "ZoneMapCache"):
         yield cache
     finally:
         _ACTIVE_ZONES.reset(token)
+
+
+def active_shard_executor() -> object | None:
+    """The binding installed by the innermost :func:`activate_shards`, or ``None``."""
+    return _ACTIVE_SHARDS.get()
+
+
+@contextmanager
+def activate_shards(binding: object):
+    """Route uncached query executions through the sharded plane for the duration.
+
+    ``binding`` exposes ``shards`` and ``execute(db, query) -> (value,
+    profile)`` (see :meth:`repro.engine.shard.ShardExecutor.bind`);
+    :func:`repro.engine.plan._execute_query_uncached` consults
+    :func:`active_shard_executor` before lowering, and
+    :meth:`ExecutionCache._key` folds the shard count into memo keys for
+    ``shards > 1``.
+    """
+    token = _ACTIVE_SHARDS.set(binding)
+    try:
+        yield binding
+    finally:
+        _ACTIVE_SHARDS.reset(token)

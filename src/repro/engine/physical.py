@@ -923,3 +923,171 @@ def execute_physical(
 
     plan.aggregate.run(state)
     return state.value, state.profile
+
+
+# ----------------------------------------------------------------------
+# Sharded execution: per-shard partial aggregates
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartialAggregate:
+    """One shard's mergeable slice of the final aggregate.
+
+    The payload shapes follow the exact-merge discipline of
+    :class:`~repro.ingest.standing.StandingQuery`: ``sum``/``count`` carry a
+    float (0.0 over an empty shard), ``min``/``max`` carry a float or
+    ``None`` (an empty shard has no extremum to offer), and ``avg`` carries
+    the exact ``(sum, count)`` decomposition so the merged average is the
+    same single division the monolithic executor performs.  Grouped shards
+    carry a dict from group-key tuple to the same per-op payload; a group a
+    shard never saw is simply absent.  SSB measures are integer-valued with
+    totals far below 2**53, so float64 partial sums are exact and their
+    merge is order-independent -- which is what makes ``shards=N`` answers
+    *byte-identical* to the monolithic plane, not merely close.
+    """
+
+    op: str
+    grouped: bool
+    group_by: tuple[str, ...]
+    payload: object
+
+
+def _partial_payload(op: str, measure: np.ndarray | None, count: int) -> object:
+    """The scalar payload of one shard (see :class:`PartialAggregate`)."""
+    if op == "avg":
+        return (scalar_aggregate_values("sum", measure, count), count)
+    return scalar_aggregate_values(op, measure, count)
+
+
+def _partial_aggregate(
+    state: PipelineState, group_by: tuple[str, ...], aggregate: AggregateSpec
+) -> PartialAggregate:
+    """The :class:`Aggregate` stage, emitting a mergeable partial.
+
+    Mirrors :meth:`Aggregate.run` exactly -- same profile emissions
+    (``result_input_rows``, measure column accesses, ``num_groups``,
+    ``output_row_bytes``), same measure gathering, same packed-radix
+    factorization -- but reduces to per-shard partials instead of finals.
+    The parent's :func:`~repro.engine.plan.merge_partial_aggregates` turns
+    a set of these into the final value.
+    """
+    profile = state.profile
+    profile.result_input_rows = state.rows_alive
+
+    validate_aggregate(aggregate)
+    sel = state.sel
+    count = int(sel.size)
+    measure_columns = []
+    for column in aggregate.columns:
+        column_bytes = float(state.fact.column(column).nbytes)
+        profile.column_accesses.append(
+            ColumnAccess(
+                column=column, column_bytes=column_bytes, rows_needed=state.rows_alive, role="measure"
+            )
+        )
+        measure_columns.append(state.fact[column][sel].astype(np.float64))
+    measure = combine_measures(aggregate, measure_columns)
+
+    if not group_by:
+        profile.num_groups = 1
+        profile.output_row_bytes = 8.0
+        return PartialAggregate(
+            op=aggregate.op,
+            grouped=False,
+            group_by=(),
+            payload=_partial_payload(aggregate.op, measure, count),
+        )
+
+    missing = [name for name in group_by if name not in state.group_columns]
+    if missing:
+        raise ValueError(
+            f"group-by column(s) {missing} are not payloads of any join in query "
+            f"{state.query_name!r}"
+        )
+    payload: dict = {}
+    if count:
+        key_arrays = [state.group_columns[name] for name in group_by]
+        unique_keys, inverse = factorize_group_keys(key_arrays)
+        num_groups = unique_keys.shape[0]
+        if aggregate.op == "avg":
+            sums = grouped_aggregate_values("sum", measure, inverse, num_groups)
+            counts = grouped_aggregate_values("count", None, inverse, num_groups)
+            totals = list(zip(sums, counts))
+        else:
+            totals = grouped_aggregate_values(aggregate.op, measure, inverse, num_groups)
+        for key, total in zip(unique_keys, totals):
+            group = tuple(int(x) for x in key)
+            if aggregate.op == "avg":
+                payload[group] = (float(total[0]), int(total[1]))
+            else:
+                payload[group] = float(total)
+    profile.num_groups = max(len(payload), 1)
+    profile.output_row_bytes = float(8 + 4 * len(group_by))
+    return PartialAggregate(
+        op=aggregate.op, grouped=True, group_by=tuple(group_by), payload=payload
+    )
+
+
+def execute_physical_partial(
+    db: Database,
+    plan: PhysicalPlan,
+    start: int,
+    stop: int,
+    artifacts: "tuple[BuildArtifact, ...] | None" = None,
+    build_cache: BuildArtifactCache | None = None,
+) -> tuple[PartialAggregate, QueryProfile]:
+    """Run a physical plan over fact rows ``[start, stop)`` of one shard.
+
+    The shard's pipeline is the ordinary selection-vector pipeline with the
+    selection *pre-seeded* to the shard's row range: every operator already
+    has a sel-is-set refine path, so a shard behaves exactly like a query
+    whose first conjunct happened to select those rows -- including queries
+    with no fact filter at all, whose first probe would otherwise run
+    full-width in every shard.  Row ids stay global, so zone
+    classifications, packed-twin word offsets, and probe zone skipping all
+    apply unchanged per shard.
+
+    ``artifacts``, when given, are the parent-built dimension lookups in
+    plan order; the per-shard builds are skipped and every shard probes the
+    very same immutable artifacts the monolithic plane would.  The returned
+    profile is this shard's *slice*;
+    :func:`~repro.engine.plan.fold_shard_profiles` reassembles the
+    monolithic profile from the slices, byte-identically.
+    """
+    if build_cache is None:
+        build_cache = active_build_cache()
+    fact = db.table(plan.logical.fact)
+    if hasattr(fact, "snapshot"):
+        fact = fact.snapshot()
+    zone_cache = active_zone_maps()
+    zones = zone_cache.maps(db, fact) if zone_cache is not None else None
+    n_shard = stop - start
+    state = PipelineState(
+        db=db,
+        fact=fact,
+        query_name=plan.logical.query.name,
+        profile=QueryProfile(
+            query=plan.logical.query.name, fact_rows=n_shard, fact_filter_selectivity=1.0
+        ),
+        build_cache=build_cache,
+        rows_alive=float(n_shard),
+        zones=zones,
+        zone_cache=zone_cache if zones is not None else None,
+        sel=np.arange(start, stop, dtype=np.int64),
+    )
+    if artifacts is not None:
+        for probe, artifact in zip(plan.probes, artifacts):
+            state.artifacts[id(probe.join)] = artifact
+
+    for scan in plan.filters:
+        scan.run(state)
+    state.profile.fact_filter_selectivity = state.rows_alive / n_shard if n_shard else 0.0
+
+    for build, probe in zip(plan.builds, plan.probes):
+        if id(probe.join) not in state.artifacts:
+            build.run(state)
+        probe.run(state)
+
+    partial = _partial_aggregate(state, plan.aggregate.group_by, plan.aggregate.aggregate)
+    return partial, state.profile

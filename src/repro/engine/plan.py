@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.engine.cache import active_cache
+from repro.engine.cache import active_cache, active_shard_executor
 from repro.engine.expr import evaluate_pred, predicate_leaf_count, predicate_or_branches
 from repro.ssb.queries import AGGREGATE_OPS, AggregateSpec, SSBQuery, conjuncts
 from repro.storage import Database, Table
@@ -358,9 +358,147 @@ def _execute_query_uncached(db: Database, query: SSBQuery) -> tuple[object, Quer
     # and helpers, so a top-level import would be circular.
     from repro.engine.physical import execute_physical, lower_query
 
+    # With a shard binding active (Session(shards=N) / run(shards=N)), the
+    # uncached execution fans out over the worker-process pool and merges
+    # partial aggregates; the binding sits *inside* the execution memo so a
+    # cached answer replays without touching the pool.
+    binding = active_shard_executor()
+    if binding is not None:
+        return binding.execute(db, query)
     # Lowering sees the database so the zone-map pruning pass (when a
     # ZoneMapCache is active) can classify zones per filter term.
     return execute_physical(db, lower_query(query, db))
+
+
+def merge_partial_aggregates(partials) -> object:
+    """Combine per-shard partial aggregates into the final answer.
+
+    ``partials`` are the :class:`~repro.engine.physical.PartialAggregate`
+    slices of one query, one per shard (any order; row ranges disjoint).
+    The merge follows the exact decomposition discipline of
+    :class:`~repro.ingest.standing.StandingQuery`: ``sum``/``count`` add,
+    ``min``/``max`` compare (skipping ``None`` from empty shards), and
+    ``avg`` adds its ``(sum, count)`` halves and divides once at the end --
+    the very division the monolithic executor performs, over exactly the
+    same integers, so the merged answer is byte-identical, not just close.
+    Grouped answers merge keyed (the packed-radix int64 group keys make
+    this a dict combine) and emerge in lexicographic key order, matching
+    :func:`factorize_group_keys`' sorted unique keys.
+    """
+    partials = list(partials)
+    if not partials:
+        raise ValueError("cannot merge zero partial aggregates")
+    first = partials[0]
+    op = first.op
+    if not first.grouped:
+        if op == "avg":
+            total = sum(p.payload[0] for p in partials)
+            count = sum(p.payload[1] for p in partials)
+            return total / count if count else None
+        if op in ("sum", "count"):
+            return float(sum(p.payload for p in partials))
+        extrema = [p.payload for p in partials if p.payload is not None]
+        if not extrema:
+            return None
+        return float(min(extrema) if op == "min" else max(extrema))
+    merged: dict = {}
+    for partial in partials:
+        for key, payload in partial.payload.items():
+            held = merged.get(key)
+            if held is None:
+                merged[key] = payload
+            elif op == "avg":
+                merged[key] = (held[0] + payload[0], held[1] + payload[1])
+            elif op in ("sum", "count"):
+                merged[key] = held + payload
+            elif op == "min":
+                merged[key] = payload if payload < held else held
+            else:  # max
+                merged[key] = payload if payload > held else held
+    value: dict = {}
+    for key in sorted(merged):
+        payload = merged[key]
+        value[key] = float(payload[0] / payload[1]) if op == "avg" else float(payload)
+    return value
+
+
+def fold_shard_profiles(profiles, value) -> QueryProfile:
+    """Reassemble the monolithic :class:`QueryProfile` from per-shard slices.
+
+    Sharding partitions the fact rows exactly, so every *extensive*
+    quantity (row counts: ``fact_rows``, ``rows_in``/``rows_out``,
+    ``probe_rows``, ``rows_needed``, ``result_input_rows``) is the plain
+    sum of the shard slices, while every *intensive* or artifact-derived
+    quantity (column bytes, hash-table bytes, dimension rows, predicate
+    shape) is identical in every slice and taken from the first.  The two
+    derived ratios are recomputed from the summed exact integers with the
+    same single float division the monolithic executor performs --
+    ``fact_filter_selectivity`` from the last filter stage's survivors,
+    each join's ``selectivity`` from the rows alive after it (the next
+    join's ``probe_rows``, or ``result_input_rows`` after the last) -- so
+    the folded profile is byte-identical to the single-process one.
+    ``num_groups`` comes from the merged ``value``.
+
+    Per-shard slices align positionally by construction: operator order is
+    fixed by the plan, and each shard charges the same columns in the same
+    order regardless of its data.
+    """
+    profiles = list(profiles)
+    if not profiles:
+        raise ValueError("cannot fold zero shard profiles")
+    first = profiles[0]
+    n = sum(p.fact_rows for p in profiles)
+    alive_after_filters = sum(
+        (p.filter_stages[-1].rows_out if p.filter_stages else float(p.fact_rows))
+        for p in profiles
+    )
+    folded = QueryProfile(
+        query=first.query,
+        fact_rows=n,
+        fact_filter_selectivity=alive_after_filters / n if n else 0.0,
+    )
+    for i, access in enumerate(first.column_accesses):
+        folded.column_accesses.append(
+            ColumnAccess(
+                column=access.column,
+                column_bytes=access.column_bytes,
+                rows_needed=sum(p.column_accesses[i].rows_needed for p in profiles),
+                role=access.role,
+            )
+        )
+    for i, stage in enumerate(first.filter_stages):
+        folded.filter_stages.append(
+            FilterStage(
+                columns=stage.columns,
+                rows_in=sum(p.filter_stages[i].rows_in for p in profiles),
+                rows_out=sum(p.filter_stages[i].rows_out for p in profiles),
+                leaf_count=stage.leaf_count,
+                or_branches=stage.or_branches,
+            )
+        )
+    folded.result_input_rows = sum(p.result_input_rows for p in profiles)
+    for i, join in enumerate(first.joins):
+        probe_rows = sum(p.joins[i].probe_rows for p in profiles)
+        if i + 1 < len(first.joins):
+            alive_after = sum(p.joins[i + 1].probe_rows for p in profiles)
+        else:
+            alive_after = folded.result_input_rows
+        folded.joins.append(
+            JoinStage(
+                dimension=join.dimension,
+                fact_key=join.fact_key,
+                dimension_rows=join.dimension_rows,
+                build_rows=join.build_rows,
+                hash_table_bytes=join.hash_table_bytes,
+                probe_rows=probe_rows,
+                selectivity=alive_after / probe_rows if probe_rows else 0.0,
+                has_payload=join.has_payload,
+                build_scan_bytes=join.build_scan_bytes,
+            )
+        )
+    folded.num_groups = max(len(value), 1) if isinstance(value, dict) else 1
+    folded.output_row_bytes = first.output_row_bytes
+    return folded
 
 
 def execute_query_monolithic(db: Database, query: SSBQuery) -> tuple[object, QueryProfile]:

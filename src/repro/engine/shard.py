@@ -1,0 +1,439 @@
+"""Process-parallel sharded execution: escape the GIL, keep byte-identity.
+
+The morsel-parallel thread pool (``Session.run_many(workers=N)``) tops out
+where NumPy holds the GIL: one Python process cannot use more than roughly
+one core's worth of the kernels that dominate SSB queries.  This module
+shards a *single query* across worker **processes** instead:
+
+1. The fact table's columns (and bit-packed twins) are published once per
+   ``(table, version)`` into shared memory (:mod:`repro.storage.shm`) --
+   workers map the same physical pages read-only, zero copies.
+2. :func:`shard_ranges` splits the fact rows into zone-aligned ranges, so
+   each shard's rows cover whole zones and zone-map pruning applies per
+   shard exactly as it does monolithically.
+3. Dimension lookups are built **once in the parent**
+   (:meth:`~repro.engine.physical.BuildLookup.fetch_artifact`, through the
+   session's shared build cache) and shipped to the workers -- inline for
+   small artifacts, through shared memory for large ones
+   (:data:`INLINE_ARTIFACT_BYTES` decides).
+4. Each worker runs the zone-pruned selection-vector pipeline over its row
+   range (:func:`~repro.engine.physical.execute_physical_partial`) and
+   returns a mergeable :class:`~repro.engine.physical.PartialAggregate`
+   plus its profile slice.
+5. The parent merges (:func:`~repro.engine.plan.merge_partial_aggregates`)
+   and folds the profile slices back into the monolithic shape
+   (:func:`~repro.engine.plan.fold_shard_profiles`) -- answers *and*
+   profiles stay byte-identical to the single-process planes, which is the
+   differential guarantee ``tests/test_sharded.py`` pins.
+
+The executor owns a persistent :class:`~concurrent.futures.
+ProcessPoolExecutor` (lifecycle tied to ``Session.close()``) and a
+:class:`~repro.storage.shm.SharedMemoryRegistry` with strict unlink
+discipline, and it is installed per-execution as a context binding
+(:func:`~repro.engine.cache.activate_shards`) so the engine layer routes
+through it without importing it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.engine.cache import active_build_cache, active_zone_maps
+from repro.engine.physical import BuildArtifact, execute_physical, execute_physical_partial, lower_query
+from repro.engine.plan import QueryProfile, fold_shard_profiles, merge_partial_aggregates
+from repro.ssb.queries import SSBQuery
+from repro.storage.shm import (
+    SharedMemoryRegistry,
+    ShmArraySpec,
+    TableExport,
+    export_table,
+)
+from repro.storage.zonemap import DEFAULT_ZONE_SIZE, PACKED_MAX_BITS
+
+#: Artifacts whose lookup + present arrays exceed this many bytes ship to
+#: workers through shared memory; smaller ones pickle inline with the task
+#: (cheaper than a segment round-trip for e.g. a 64-entry year lookup).
+INLINE_ARTIFACT_BYTES = 256 * 1024
+
+
+def shard_ranges(num_rows: int, shards: int, zone_size: int = DEFAULT_ZONE_SIZE) -> list[tuple[int, int]]:
+    """Zone-aligned ``[start, stop)`` row ranges, one per shard.
+
+    Zones are distributed as evenly as integer division allows, so every
+    shard boundary (except the table's tail) lands on a zone boundary and
+    per-zone statistics, packed-word offsets, and zone-granular skipping
+    remain valid inside each shard.  With more shards than zones, the
+    excess shards get empty ranges (``start == stop``); callers skip them
+    at submission time.  Ranges partition ``[0, num_rows)`` exactly.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if zone_size < 1:
+        raise ValueError(f"zone_size must be >= 1, got {zone_size}")
+    zones = -(-num_rows // zone_size) if num_rows else 0
+    ranges = []
+    for i in range(shards):
+        z0 = i * zones // shards
+        z1 = (i + 1) * zones // shards
+        ranges.append((z0 * zone_size, min(z1 * zone_size, num_rows)))
+    return ranges
+
+
+# ----------------------------------------------------------------------
+# Task manifests (pickled parent -> worker)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InlineArtifact:
+    """A parent-built dimension lookup small enough to pickle with the task."""
+
+    artifact: BuildArtifact
+
+
+@dataclass(frozen=True)
+class ShmArtifact:
+    """A parent-built dimension lookup shipped through shared memory.
+
+    Carries the artifact's scalar fields plus segment specs for the two
+    arrays; ``token`` identifies the artifact so workers reconstruct each
+    one once per process and reuse it across tasks.
+    """
+
+    token: str
+    dimension: str
+    dimension_rows: int
+    build_rows: int
+    hash_table_bytes: float
+    build_scan_bytes: float
+    lookup: ShmArraySpec
+    present: ShmArraySpec
+    key_base: int
+    key_low: int
+    key_high: int
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs to run one shard of one query."""
+
+    export: TableExport
+    query: SSBQuery
+    start: int
+    stop: int
+    artifacts: tuple[InlineArtifact | ShmArtifact, ...]
+    #: Whether the parent session runs the zone-pruned plane; workers build
+    #: their zone caches with the same geometry so shard pipelines take the
+    #: same pruning decisions the monolithic pipeline would.
+    zones: bool
+    zone_size: int
+    packed_max_bits: int
+
+
+class ShardStats(NamedTuple):
+    """Counters of one :class:`ShardExecutor` (see ``Session.counters()``)."""
+
+    #: Queries dispatched through the shard pool.
+    queries: int
+    #: Shard tasks run (non-empty ranges actually submitted).
+    tasks: int
+    #: Queries routed back to the monolithic path (off-database, or an
+    #: empty fact table -- nothing to shard).
+    fallbacks: int
+    #: Worker processes the persistent pool currently holds (0 = not spun up).
+    workers: int
+
+
+class ShardBinding:
+    """One execution's view of the shard pool: an effective shard count.
+
+    The opaque object :func:`~repro.engine.cache.activate_shards` installs:
+    the engine layer reads ``shards`` (cache keys) and calls ``execute``
+    (dispatch); everything else stays behind the executor.
+    """
+
+    __slots__ = ("executor", "shards")
+
+    def __init__(self, executor: "ShardExecutor", shards: int) -> None:
+        self.executor = executor
+        self.shards = shards
+
+    def execute(self, db, query: SSBQuery) -> tuple[object, QueryProfile]:
+        return self.executor.execute(db, query, self.shards)
+
+
+class ShardExecutor:
+    """The parent-side owner of the worker pool and the shared-memory plane.
+
+    One per :class:`~repro.api.Session` (created lazily on the first
+    ``shards > 1`` execution, torn down by ``Session.close()``).  The pool
+    is persistent: workers keep their attached segments, reconstructed
+    tables, zone statistics, and artifact reconstructions across queries,
+    so steady-state dispatch ships only a small manifest per shard.
+
+    Thread-safe: the morsel-parallel thread pool and the asyncio service's
+    executor threads may dispatch concurrently; pool creation, export
+    caching, artifact-ref assignment, and counters all mutate under one
+    lock, while the actual shard waits happen outside it.
+    """
+
+    def __init__(
+        self,
+        db,
+        *,
+        start_method: str | None = None,
+        zones: bool = True,
+        zone_size: int | None = None,
+        packed_max_bits: int | None = None,
+    ) -> None:
+        if start_method is not None and start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {start_method!r} is not available on this platform; "
+                f"choose from {multiprocessing.get_all_start_methods()}"
+            )
+        self.db = db
+        self.start_method = start_method
+        self.zones = zones
+        self.zone_size = DEFAULT_ZONE_SIZE if zone_size is None else zone_size
+        self.packed_max_bits = PACKED_MAX_BITS if packed_max_bits is None else packed_max_bits
+        self.registry = SharedMemoryRegistry()
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_workers = 0
+        #: One export per fact table name; re-exporting a newer version
+        #: releases the old version's segments (workers re-attach by spec).
+        self._exports: dict[str, tuple[int, TableExport, list[str]]] = {}
+        #: Artifact shipping refs by ``id(artifact)``; ``_artifact_pins``
+        #: keeps the artifacts alive so ids stay unique for the session.
+        self._artifact_refs: dict[int, InlineArtifact | ShmArtifact] = {}
+        self._artifact_pins: list[BuildArtifact] = []
+        self._artifact_counter = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        self.queries = 0
+        self.tasks = 0
+        self.fallbacks = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, shards: int) -> ShardBinding:
+        """A context binding that dispatches at ``shards`` parallelism."""
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        return ShardBinding(self, shards)
+
+    def stats(self) -> ShardStats:
+        with self._lock:
+            return ShardStats(
+                queries=self.queries,
+                tasks=self.tasks,
+                fallbacks=self.fallbacks,
+                workers=self._pool_workers,
+            )
+
+    def close(self) -> None:
+        """Shut the worker pool down and unlink every shared segment."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+            self._pool_workers = 0
+            self._exports.clear()
+            self._artifact_refs.clear()
+            self._artifact_pins.clear()
+        if pool is not None:
+            pool.shutdown(wait=True)
+        self.registry.close()
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def execute(self, db, query: SSBQuery, shards: int) -> tuple[object, QueryProfile]:
+        """Run ``query`` sharded ``shards`` ways; fall back monolithically
+        when there is nothing to shard (off-database, or an empty fact).
+
+        Must be called with the session's cache scopes already active (the
+        normal ``Session._execute`` path): zone maps come from
+        :func:`~repro.engine.cache.active_zone_maps`, parent-side builds go
+        through :func:`~repro.engine.cache.active_build_cache`.
+        """
+        fact_name = getattr(query, "fact", None)
+        tables = getattr(db, "tables", None)
+        if (
+            db is not self.db
+            or shards < 2
+            or fact_name is None
+            or tables is None
+            or fact_name not in tables
+        ):
+            return self._fallback(db, query)
+        # Snowflake validation (and anything else lowering rejects) raises
+        # here in the parent, before any pool work happens.
+        plan = lower_query(query, db)
+        fact = db.table(fact_name)
+        if hasattr(fact, "snapshot"):
+            fact = fact.snapshot()
+        n = fact.num_rows
+        if n == 0:
+            return self._fallback(db, query)
+
+        export = self._export_for(db, fact)
+        artifacts = tuple(
+            self._artifact_ref(build.fetch_artifact(db, active_build_cache()))
+            for build in plan.builds
+        )
+        ranges = [r for r in shard_ranges(n, shards, self.zone_size) if r[1] > r[0]]
+        tasks = [
+            ShardTask(
+                export=export,
+                query=query,
+                start=start,
+                stop=stop,
+                artifacts=artifacts,
+                zones=self.zones,
+                zone_size=self.zone_size,
+                packed_max_bits=self.packed_max_bits,
+            )
+            for start, stop in ranges
+        ]
+        pool = self._ensure_pool(shards)
+        # Deferred import keeps the worker module (and its module globals)
+        # out of the parent's hot path until sharding is actually used.
+        from repro.engine.shard_worker import run_shard_task
+
+        futures = [pool.submit(run_shard_task, task) for task in tasks]
+        results = [future.result() for future in futures]
+
+        partials = [partial for partial, _, _ in results]
+        profiles = [profile for _, profile, _ in results]
+        value = merge_partial_aggregates(partials)
+        profile = fold_shard_profiles(profiles, value)
+        zone_cache = active_zone_maps()
+        if zone_cache is not None:
+            for _, _, (skipped, taken, evaluated, rows_pruned) in results:
+                if skipped or taken or evaluated or rows_pruned:
+                    zone_cache.record(
+                        skipped=skipped, taken=taken, evaluated=evaluated, rows_pruned=rows_pruned
+                    )
+        with self._lock:
+            self.queries += 1
+            self.tasks += len(tasks)
+        return value, profile
+
+    def _fallback(self, db, query: SSBQuery) -> tuple[object, QueryProfile]:
+        with self._lock:
+            self.fallbacks += 1
+        return execute_physical(db, lower_query(query, db))
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, shards: int) -> ProcessPoolExecutor:
+        """The persistent worker pool, grown (never shrunk) to ``shards``."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ShardExecutor is closed")
+            if self._pool is None or self._pool_workers < shards:
+                old = self._pool
+                context = multiprocessing.get_context(self.start_method)
+                self._pool = ProcessPoolExecutor(max_workers=shards, mp_context=context)
+                self._pool_workers = shards
+            else:
+                old = None
+            pool = self._pool
+        if old is not None:
+            old.shutdown(wait=True)
+        return pool
+
+    def _export_for(self, db, fact) -> TableExport:
+        """The fact table's shared-memory manifest, one per (name, version).
+
+        Exporting warms the parent's packed twins for *every* fact column
+        first (through the active zone cache, so the parent and the workers
+        share one deterministic compression plan per version), then copies
+        columns and twin words into fresh segments.  A newer version
+        releases the previous version's segments -- workers hold their own
+        attachments, so in-flight shards on the old version finish safely;
+        the pages are freed when the last attachment closes.
+        """
+        version = getattr(fact, "version", 0)
+        with self._lock:
+            held = self._exports.get(fact.name)
+            if held is not None and held[0] == version:
+                return held[1]
+        packed: dict = {}
+        zone_cache = active_zone_maps()
+        if self.zones and zone_cache is not None:
+            maps = zone_cache.maps(db, fact)
+            if maps is not None:
+                packed = {name: maps.packed(name) for name in fact.columns}
+        export = export_table(self.registry, fact, packed)
+        names = [spec.segment for _, item in export.columns for spec in (item.spec,)]
+        names += [item.words.segment for _, item in export.packed if item is not None]
+        with self._lock:
+            held = self._exports.get(fact.name)
+            if held is not None and held[0] == version:
+                # A racing thread exported the same version first; keep its
+                # manifest and release ours.
+                stale = names
+                export = held[1]
+            else:
+                stale = held[2] if held is not None else []
+                self._exports[fact.name] = (version, export, names)
+        if stale:
+            self.registry.release(stale)
+        return export
+
+    def _artifact_ref(self, artifact: BuildArtifact) -> InlineArtifact | ShmArtifact:
+        """How to ship ``artifact``: inline pickle or shared segments, by size."""
+        with self._lock:
+            ref = self._artifact_refs.get(id(artifact))
+            if ref is not None:
+                return ref
+        nbytes = int(artifact.lookup.nbytes) + int(artifact.present.nbytes)
+        if nbytes <= INLINE_ARTIFACT_BYTES:
+            ref: InlineArtifact | ShmArtifact = InlineArtifact(artifact=artifact)
+        else:
+            lookup_spec = self.registry.share_array(np.asarray(artifact.lookup))
+            present_spec = self.registry.share_array(np.asarray(artifact.present))
+            with self._lock:
+                self._artifact_counter += 1
+                token = f"artifact-{self._artifact_counter}"
+            ref = ShmArtifact(
+                token=token,
+                dimension=artifact.dimension,
+                dimension_rows=artifact.dimension_rows,
+                build_rows=artifact.build_rows,
+                hash_table_bytes=artifact.hash_table_bytes,
+                build_scan_bytes=artifact.build_scan_bytes,
+                lookup=lookup_spec,
+                present=present_spec,
+                key_base=artifact.key_base,
+                key_low=artifact.key_low,
+                key_high=artifact.key_high,
+            )
+        with self._lock:
+            held = self._artifact_refs.get(id(artifact))
+            if held is not None:
+                return held
+            self._artifact_refs[id(artifact)] = ref
+            self._artifact_pins.append(artifact)
+        return ref
+
+
+def partial_for_range(db, query: SSBQuery, start: int, stop: int):
+    """Run one shard's partial in-process (test/experimentation helper).
+
+    Lowers under whatever cache scopes are active and returns the
+    ``(partial, profile)`` pair a worker would have produced for the range
+    -- handy for property-style merge tests that need adversarial splits
+    without paying for a process pool.
+    """
+    return execute_physical_partial(db, lower_query(query, db), start, stop)

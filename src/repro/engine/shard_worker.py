@@ -1,0 +1,123 @@
+"""The worker-process side of sharded execution.
+
+This module is imported inside pool worker processes (its entry point,
+:func:`run_shard_task`, must be a top-level function so tasks pickle under
+the ``spawn`` start method).  Workers are long-lived and stateless from the
+parent's point of view: everything a task needs arrives in its
+:class:`~repro.engine.shard.ShardTask` manifest, and everything expensive a
+worker derives from a manifest is memoized in process-global caches so
+steady-state tasks pay only the partial-pipeline work itself:
+
+* ``_SEGMENTS`` -- attached :class:`multiprocessing.shared_memory.
+  SharedMemory` handles by segment name.  These must outlive every array
+  view over them, so they live for the whole worker process.
+* ``_TABLES`` -- reconstructed ``(Database, ZoneMapCache)`` pairs keyed by
+  the export's ``(table, version)`` plus the zone geometry.  The zone
+  cache's :class:`~repro.storage.zonemap.TableZoneMaps` is pre-populated
+  with the parent's bit-packed twins (attached, not re-packed) for every
+  column, so a worker never derives packing eligibility or repacks; only
+  the cheap per-column min/max reductions happen worker-side, lazily.
+* ``_ARTIFACTS`` -- :class:`~repro.engine.physical.BuildArtifact`
+  reconstructions of shm-shipped lookups, by token.
+
+Workers never build dimension tables at all: every probe consumes a
+parent-built artifact, which is what keeps the sharded plane's profile
+slices (build rows, hash-table bytes) identical to the monolithic plane's.
+"""
+
+from __future__ import annotations
+
+from repro.engine.cache import ZoneMapCache, activate_zones
+from repro.engine.physical import BuildArtifact, execute_physical_partial, lower_query
+from repro.engine.shard import InlineArtifact, ShardTask, ShmArtifact
+from repro.storage.database import Database
+from repro.storage.shm import attach_array, attach_table
+
+#: Attached segment handles by name -- keep-alive for every array view this
+#: process holds (see module docstring).
+_SEGMENTS: dict = {}
+#: ``(table, version, zones, zone_size, packed_max_bits)`` -> (db, zone_cache).
+_TABLES: dict = {}
+#: Shm-shipped build artifacts by token.
+_ARTIFACTS: dict = {}
+
+
+def _database_for(task: ShardTask) -> tuple[Database, ZoneMapCache]:
+    """The reconstructed single-table database (and zone cache) of a task."""
+    export = task.export
+    key = (export.name, export.version, task.zones, task.zone_size, task.packed_max_bits)
+    held = _TABLES.get(key)
+    if held is not None:
+        return held
+    table, packed = attach_table(export, _SEGMENTS)
+    db = Database(name=f"shard-{export.name}", tables={export.name: table})
+    zone_cache = ZoneMapCache(db, zone_size=task.zone_size, packed_max_bits=task.packed_max_bits)
+    if task.zones:
+        maps = zone_cache.maps(db, table)
+        # Pre-populate every column's packed slot with the parent's twin
+        # (or its None verdict): the compression plan is decided once, in
+        # the parent, and workers must follow it -- both to skip the O(n)
+        # packing pass and so every shard gathers from identical words.
+        for name in table.columns:
+            maps._packed[name] = packed.get(name)
+    _TABLES[key] = (db, zone_cache)
+    return db, zone_cache
+
+
+def _resolve_artifact(ref: InlineArtifact | ShmArtifact) -> BuildArtifact:
+    """An artifact ref back into a probe-ready :class:`BuildArtifact`."""
+    if isinstance(ref, InlineArtifact):
+        return ref.artifact
+    held = _ARTIFACTS.get(ref.token)
+    if held is not None:
+        return held
+    lookup = attach_array(ref.lookup, _SEGMENTS)
+    present = attach_array(ref.present, _SEGMENTS)
+    artifact = BuildArtifact(
+        dimension=ref.dimension,
+        dimension_rows=ref.dimension_rows,
+        build_rows=ref.build_rows,
+        hash_table_bytes=ref.hash_table_bytes,
+        build_scan_bytes=ref.build_scan_bytes,
+        lookup=lookup,
+        present=present,
+        key_base=ref.key_base,
+        key_low=ref.key_low,
+        key_high=ref.key_high,
+    )
+    _ARTIFACTS[ref.token] = artifact
+    return artifact
+
+
+def run_shard_task(task: ShardTask):
+    """Execute one shard and return ``(partial, profile, zone_delta)``.
+
+    ``zone_delta`` is the 4-tuple of zone counters this task accumulated
+    (skipped, taken, evaluated, rows pruned), read as the before/after
+    difference of the worker's zone cache so the parent can fold shard
+    pruning activity into its own counters.  Exceptions propagate to the
+    parent through the future, carrying the worker traceback.
+    """
+    db, zone_cache = _database_for(task)
+    artifacts = tuple(_resolve_artifact(ref) for ref in task.artifacts)
+    if task.zones:
+        before = zone_cache.info()
+        with activate_zones(zone_cache):
+            plan = lower_query(task.query, db)
+            partial, profile = execute_physical_partial(
+                db, plan, task.start, task.stop, artifacts=artifacts
+            )
+        after = zone_cache.info()
+        delta = (
+            after.zones_skipped - before.zones_skipped,
+            after.zones_taken - before.zones_taken,
+            after.zones_evaluated - before.zones_evaluated,
+            after.rows_pruned - before.rows_pruned,
+        )
+    else:
+        plan = lower_query(task.query, db)
+        partial, profile = execute_physical_partial(
+            db, plan, task.start, task.stop, artifacts=artifacts
+        )
+        delta = (0, 0, 0, 0)
+    return partial, profile, delta

@@ -196,6 +196,7 @@ class QueryService:
         timeout_s: Optional[float] = None,
         optimize: bool = False,
         trace_limit: int = 100_000,
+        shards: Optional[int] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -205,6 +206,8 @@ class QueryService:
             raise ValueError(f"overload must be one of {OVERLOAD_POLICIES}, got {overload!r}")
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.session = session
         self.engine = engine
         self.max_inflight = max_inflight
@@ -212,6 +215,12 @@ class QueryService:
         self.overload = overload
         self.timeout_s = timeout_s
         self.optimize = optimize
+        #: Intra-query process parallelism: every served query dispatches to
+        #: the session's shard pool at this width.  The blocking shard waits
+        #: happen on the session's executor *threads*, so the asyncio loop
+        #: never blocks -- admission, timeouts, and shedding stay live while
+        #: worker processes chew on shards.
+        self.shards = shards
         self.traces: deque = deque(maxlen=trace_limit)
         self._queue: deque = deque()
         self._inflight = 0
@@ -410,7 +419,7 @@ class QueryService:
             version = self.session.ingest(table, arrays)
             return version, self.session.counters() - before, self.session.table_versions()
         versions = self.session.table_versions()
-        result = self.session.run(request.query, engine=request.engine)
+        result = self.session.run(request.query, engine=request.engine, shards=self.shards)
         return result, self.session.counters() - before, versions
 
     def _finish(self, request: _Request, done: asyncio.Future) -> None:

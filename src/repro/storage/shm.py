@@ -1,0 +1,315 @@
+"""The shared-memory plane: zero-copy column export across processes.
+
+Process-parallel sharded execution (:mod:`repro.engine.shard`) escapes the
+GIL by running shards of a query in worker *processes*.  Shipping the fact
+table to those workers by pickle would copy gigabytes per query; instead
+the parent publishes each column (and each bit-packed twin) once into a
+POSIX shared-memory segment (``multiprocessing.shared_memory``), and every
+worker maps the segments read-only -- the same physical pages, zero copies,
+exactly how a production scale-up engine shares its buffer pool.
+
+Two halves live here:
+
+* :class:`SharedMemoryRegistry` -- the **owning** side.  The parent process
+  creates segments through the registry, which tracks every one and unlinks
+  them all on :meth:`~SharedMemoryRegistry.close` (wired to
+  ``Session.close()`` / ``__exit__``) *and* at interpreter exit (atexit), so
+  a crashed or lazily-closed session cannot strand segments in
+  ``/dev/shm``.  The leak-safety tests in ``tests/test_sharded.py`` create
+  and destroy sessions in a loop and assert the directory comes back clean.
+
+* :func:`attach_array` / :func:`attach_table` -- the **borrowing** side.
+  Workers attach by segment name and wrap the mapped buffer in a read-only
+  ``np.ndarray`` (no copy).  Worker processes spawned or forked from the
+  owner share its ``multiprocessing.resource_tracker`` (the tracker fd is
+  inherited under both start methods), so an attach's re-registration is a
+  set no-op and the owner's unlink performs the single unregister --
+  ownership stays with the registry alone, and a worker's exit can never
+  tear a segment out from under its siblings.
+
+A :class:`TableExport` is the picklable manifest tying the halves together:
+segment specs for every column and packed twin, plus the table's name,
+version, and dictionary encoders -- everything
+:meth:`repro.storage.table.Table.from_published` needs to reconstruct a
+frozen, version-pinned view on the worker side.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import secrets
+import threading
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.storage.column import Column
+from repro.storage.compression import BitPackedColumn
+from repro.storage.dictionary import DictionaryEncoder
+from repro.storage.table import Table
+
+#: Prefix every registry-owned segment name starts with; the leak tests
+#: scan ``/dev/shm`` for it to prove nothing was stranded.
+SEGMENT_PREFIX = "repro-shm"
+
+
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """Where (and how) one array lives in shared memory.
+
+    ``segment`` names the POSIX segment; ``dtype``/``shape`` reconstruct
+    the ndarray view over its buffer.  Specs are small frozen values, so
+    they pickle to workers for free.
+    """
+
+    segment: str
+    dtype: str
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+
+class SharedMemoryRegistry:
+    """Owner of a set of shared-memory segments, with unlink discipline.
+
+    Every segment created through :meth:`share_array` is tracked; ``close``
+    closes *and unlinks* them all, idempotently.  Construction registers an
+    atexit hook so segments cannot outlive the interpreter even if the
+    owner forgets to close -- the hook unregisters itself once ``close``
+    has run, keeping the atexit table from growing across short-lived
+    registries (the session-churn leak test).
+    """
+
+    def __init__(self, prefix: str | None = None) -> None:
+        self._prefix = prefix or f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+        self._closed = False
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    def share_array(self, array: np.ndarray) -> ShmArraySpec:
+        """Copy ``array`` into a fresh segment and return its spec.
+
+        The one copy in the whole plane: the column's bytes move into the
+        shared mapping here, once per ``(table, version)``, and every
+        worker (and every later query) reads those very pages.  Empty
+        arrays get a 1-byte segment (POSIX shm refuses zero-size maps).
+        """
+        array = np.ascontiguousarray(array)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SharedMemoryRegistry is closed; cannot share new arrays")
+            name = f"{self._prefix}-{next(self._counter)}"
+            segment = shared_memory.SharedMemory(name=name, create=True, size=max(int(array.nbytes), 1))
+            self._segments[segment.name] = segment
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        return ShmArraySpec(segment=segment.name, dtype=array.dtype.str, shape=tuple(array.shape))
+
+    @property
+    def num_segments(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def release(self, names) -> None:
+        """Close and unlink a subset of owned segments (by segment name).
+
+        Used when a table re-exports at a newer version: the old version's
+        segments are released eagerly instead of waiting for ``close``.
+        Unknown names are ignored (already released, or never owned).
+        """
+        with self._lock:
+            released = [self._segments.pop(name) for name in names if name in self._segments]
+        for segment in released:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def close(self) -> None:
+        """Close and unlink every owned segment (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            segments, self._segments = self._segments, {}
+        for segment in segments.values():
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        atexit.unregister(self.close)
+
+    def __enter__(self) -> "SharedMemoryRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedMemoryRegistry({self._prefix!r}, segments={self.num_segments}, closed={self._closed})"
+
+
+# ----------------------------------------------------------------------
+# Borrowing side (workers)
+# ----------------------------------------------------------------------
+
+
+def attach_array(
+    spec: ShmArraySpec, segments: dict[str, shared_memory.SharedMemory]
+) -> np.ndarray:
+    """Map ``spec``'s segment and return a read-only ndarray over it.
+
+    ``segments`` is the caller's keep-alive cache: the returned array
+    borrows the mapping's buffer, so the :class:`SharedMemory` handle must
+    outlive it -- workers hold one process-global dict for the life of the
+    process.  No resource-tracker bookkeeping happens here: pool workers
+    share the owner's tracker (fd inherited under fork and spawn alike),
+    so the attach's implicit re-register is a set no-op and unlink rights
+    remain with the owning registry.
+    """
+    segment = segments.get(spec.segment)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=spec.segment)
+        segments[spec.segment] = segment
+    array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
+    array.setflags(write=False)
+    return array
+
+
+# ----------------------------------------------------------------------
+# Table manifests
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnExport:
+    """One column's segment spec plus the metadata Column carries."""
+
+    spec: ShmArraySpec
+    encoding: str | None
+
+
+@dataclass(frozen=True)
+class PackedExport:
+    """One bit-packed twin's word array plus its decode parameters."""
+
+    words: ShmArraySpec
+    bit_width: int
+    num_values: int
+
+
+@dataclass(frozen=True)
+class TableExport:
+    """A picklable manifest of one frozen table published to shared memory.
+
+    Carries everything a worker needs to reconstruct a read-only,
+    version-pinned :class:`~repro.storage.table.Table` over the shared
+    pages: per-column segment specs, the bit-packed twins the parent had
+    materialized (``None`` marks a column whose domain does not pack, so
+    workers never re-derive eligibility), and the dictionary encoders for
+    predicate-constant resolution.
+    """
+
+    name: str
+    version: int
+    num_rows: int
+    columns: tuple[tuple[str, ColumnExport], ...]
+    packed: tuple[tuple[str, PackedExport | None], ...] = ()
+    dictionaries: dict[str, DictionaryEncoder] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        """Shared bytes the manifest points at (columns + packed twins)."""
+        total = sum(export.spec.nbytes for _, export in self.columns)
+        total += sum(export.words.nbytes for _, export in self.packed if export is not None)
+        return total
+
+
+def export_table(
+    registry: SharedMemoryRegistry,
+    table: Table,
+    packed: "dict[str, BitPackedColumn | None] | None" = None,
+) -> TableExport:
+    """Publish ``table``'s columns (and ``packed`` twins) through ``registry``.
+
+    ``table`` should be a frozen snapshot so the manifest's version and the
+    shared bytes cannot disagree.  ``packed`` maps column name to its
+    bit-packed twin or ``None`` (ineligible); omitted columns simply have
+    no twin on the worker side.
+    """
+    columns = tuple(
+        (name, ColumnExport(spec=registry.share_array(column.values), encoding=column.encoding))
+        for name, column in table.columns.items()
+    )
+    packed_exports: list[tuple[str, PackedExport | None]] = []
+    for name, twin in (packed or {}).items():
+        if twin is None:
+            packed_exports.append((name, None))
+        else:
+            packed_exports.append(
+                (
+                    name,
+                    PackedExport(
+                        words=registry.share_array(twin.packed),
+                        bit_width=twin.bit_width,
+                        num_values=twin.num_values,
+                    ),
+                )
+            )
+    return TableExport(
+        name=table.name,
+        version=getattr(table, "version", 0),
+        num_rows=table.num_rows,
+        columns=columns,
+        packed=tuple(packed_exports),
+        dictionaries=dict(table.dictionaries),
+    )
+
+
+def attach_table(
+    export: TableExport, segments: dict[str, shared_memory.SharedMemory]
+) -> "tuple[Table, dict[str, BitPackedColumn | None]]":
+    """Reconstruct the exported table (and twins) over shared pages.
+
+    Returns ``(table, packed)``: a frozen
+    :meth:`~repro.storage.table.Table.from_published` view whose column
+    arrays alias the shared segments read-only, and the packed-twin mapping
+    (``None`` entries preserved, so callers can pre-populate a worker's
+    zone maps and skip eligibility re-derivation entirely).
+    """
+    columns = {
+        name: Column(name=name, values=attach_array(item.spec, segments), encoding=item.encoding)
+        for name, item in export.columns
+    }
+    packed: dict[str, BitPackedColumn | None] = {}
+    for name, item in export.packed:
+        if item is None:
+            packed[name] = None
+        else:
+            packed[name] = BitPackedColumn(
+                name=name,
+                packed=attach_array(item.words, segments),
+                bit_width=item.bit_width,
+                num_values=item.num_values,
+            )
+    table = Table.from_published(
+        export.name, export.version, columns, dictionaries=export.dictionaries
+    )
+    return table, packed

@@ -86,6 +86,30 @@ class Table:
         return snap
 
     @classmethod
+    def from_published(
+        cls,
+        name: str,
+        version: int,
+        columns: dict[str, Column],
+        dictionaries: dict[str, DictionaryEncoder] | None = None,
+    ) -> "Table":
+        """Reconstruct a frozen table around an already-published state.
+
+        The cross-process counterpart of :meth:`snapshot`: a worker that
+        attached a table's columns from shared memory
+        (:mod:`repro.storage.shm`) rebuilds the same frozen,
+        version-pinned view the parent exported, so version-keyed caches
+        (zone maps, build artifacts) agree across the process boundary.
+        """
+        table = cls.__new__(cls)
+        table.name = name
+        table.dictionaries = dictionaries if dictionaries is not None else {}
+        table._published = (version, dict(columns))
+        table._append_lock = threading.Lock()
+        table._frozen = True
+        return table
+
+    @classmethod
     def from_arrays(cls, name: str, arrays: dict[str, np.ndarray], device: Device = Device.CPU) -> "Table":
         """Build a table from a mapping of column name to array."""
         table = cls(name=name)

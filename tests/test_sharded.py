@@ -1,0 +1,364 @@
+"""Process-parallel sharded execution (the escape-the-GIL plane).
+
+The sharded plane's contract is the same one every prior plane pinned:
+splitting a query across worker processes may change *how* the work runs,
+never *what* it computes.  The differential suites here hold ``shards=N``
+byte-identical -- answers **and** profiles -- to the monolithic executor on
+all 13 canonical queries plus OR-tree extras, at multiple shard counts,
+under both the ``fork`` and ``spawn`` start methods.
+
+Beyond the differential guarantee:
+
+* property-style merge tests drive all five aggregate ops through
+  adversarial shard splits (empty shards, single-row shards, groups that
+  appear in only one shard) without paying for a process pool;
+* leak-safety tests create and destroy sharded sessions in a loop and
+  assert ``/dev/shm`` comes back clean;
+* cache-keying tests pin the regression that ``shards=1`` and the
+  morsel-threaded path share execution-cache entries while ``shards=N``
+  keys separately (its pool dispatch is real work the memo must not elide
+  into the single-process entry's accounting).
+"""
+
+import asyncio
+import glob
+
+import pytest
+
+from repro.api import Q, Session, col
+from repro.engine.cache import activate_zones
+from repro.engine.plan import (
+    execute_query_monolithic,
+    fold_shard_profiles,
+    merge_partial_aggregates,
+)
+from repro.engine.shard import ShardExecutor, partial_for_range, shard_ranges
+from repro.ssb.queries import QUERIES
+
+START_METHODS = ("fork", "spawn")
+
+
+def _shm_segments() -> list:
+    return glob.glob("/dev/shm/repro-shm*")
+
+
+# ----------------------------------------------------------------------
+# Shard planner: zone-aligned range splits
+# ----------------------------------------------------------------------
+
+
+class TestShardRanges:
+    @pytest.mark.parametrize(
+        "num_rows,shards,zone_size",
+        [
+            (0, 1, 8), (0, 4, 8), (1, 1, 8), (1, 4, 8), (7, 2, 8), (8, 2, 8),
+            (9, 2, 8), (64, 3, 8), (65, 3, 8), (1000, 7, 16), (1000, 1, 4096),
+            (100_000, 5, 4096), (3, 10, 1),
+        ],
+    )
+    def test_partitions_exactly(self, num_rows, shards, zone_size):
+        ranges = shard_ranges(num_rows, shards, zone_size)
+        assert len(ranges) == shards
+        cursor = 0
+        for start, stop in ranges:
+            assert start == cursor  # contiguous, disjoint, ordered
+            assert stop >= start
+            cursor = stop
+        assert cursor == num_rows  # covers [0, num_rows) exactly
+
+    @pytest.mark.parametrize("num_rows,shards,zone_size", [(100, 3, 8), (1000, 7, 16)])
+    def test_boundaries_zone_aligned(self, num_rows, shards, zone_size):
+        for start, stop in shard_ranges(num_rows, shards, zone_size):
+            assert start % zone_size == 0
+            assert stop % zone_size == 0 or stop == num_rows
+
+    def test_more_shards_than_zones_gives_empty_ranges(self):
+        ranges = shard_ranges(10, 8, zone_size=8)  # 2 zones, 8 shards
+        assert sum(1 for start, stop in ranges if stop > start) == 2
+        assert sum(1 for start, stop in ranges if stop == start) == 6
+        assert ranges[-1][1] == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_ranges(10, 0)
+        with pytest.raises(ValueError):
+            shard_ranges(10, 2, zone_size=0)
+
+
+# ----------------------------------------------------------------------
+# Merge properties: all five ops across adversarial splits (in-process)
+# ----------------------------------------------------------------------
+
+AGG_OPS = ("sum", "count", "min", "max", "avg")
+
+#: Boundary lists, resolved against the fact row count at test time; each
+#: one stresses a different adversarial shape.
+def _adversarial_splits(n):
+    return [
+        [0, n],                                  # single shard == monolithic
+        [0, 0, n],                               # leading empty shard
+        [0, n, n],                               # trailing empty shard
+        [0, 1, n],                               # single-row shard
+        [0, 1, 2, 3, n],                         # several single-row shards
+        [0, n // 3, n // 3, 2 * n // 3, n],      # empty middle shard
+        [0, n // 2, n],                          # plain halves
+    ]
+
+
+def _query_for(op, db, grouped):
+    builder = (
+        Q("lineorder")
+        .where(col("lo_discount").between(1, 3))
+        .join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+    )
+    # ``count`` counts surviving rows, so it takes no measure column.
+    builder = builder.agg(op) if op == "count" else builder.agg(op, "lo_revenue")
+    if grouped:
+        builder = builder.group_by("d_year")
+    return builder.build(db)
+
+
+class TestPartialMerge:
+    @pytest.mark.parametrize("grouped", [False, True], ids=["scalar", "grouped"])
+    @pytest.mark.parametrize("op", AGG_OPS)
+    def test_all_ops_all_splits(self, tiny_ssb, op, grouped):
+        query = _query_for(op, tiny_ssb, grouped)
+        expected_value, expected_profile = execute_query_monolithic(tiny_ssb, query)
+        n = tiny_ssb.table("lineorder").num_rows
+        for bounds in _adversarial_splits(n):
+            parts = [
+                partial_for_range(tiny_ssb, query, start, stop)
+                for start, stop in zip(bounds, bounds[1:])
+            ]
+            value = merge_partial_aggregates([partial for partial, _ in parts])
+            assert value == expected_value, f"op={op} bounds={bounds}"
+            profile = fold_shard_profiles([profile for _, profile in parts], value)
+            assert profile == expected_profile, f"op={op} bounds={bounds}"
+
+    @pytest.mark.parametrize("op", AGG_OPS)
+    def test_groups_present_in_only_one_shard(self, tiny_ssb, op):
+        """Split on a group boundary so each group lives in exactly one shard.
+
+        ``d_year`` correlates with ``lo_orderdate``, so sorting the split
+        point by rows guarantees some groups are single-shard; merging must
+        reproduce them bit-for-bit (no identity-element pollution from the
+        shards that never saw the group).
+        """
+        query = _query_for(op, tiny_ssb, grouped=True)
+        expected, _ = execute_query_monolithic(tiny_ssb, query)
+        n = tiny_ssb.table("lineorder").num_rows
+        for split in (1, n // 7, n // 2, n - 1):
+            parts = [
+                partial_for_range(tiny_ssb, query, start, stop)
+                for start, stop in ((0, split), (split, n))
+            ]
+            merged = merge_partial_aggregates([partial for partial, _ in parts])
+            assert merged == expected
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_partial_aggregates([])
+        with pytest.raises(ValueError):
+            fold_shard_profiles([], None)
+
+
+# ----------------------------------------------------------------------
+# Pooled differential: real worker processes, fork and spawn
+# ----------------------------------------------------------------------
+
+OR_TREE_QUERIES = [
+    lambda db: (
+        Q("lineorder")
+        .where(col("lo_discount").between(1, 3) | (col("lo_quantity") > 45))
+        .join("date", on=("lo_orderdate", "d_datekey"), payload="d_year")
+        .group_by("d_year")
+        .agg("sum", "lo_extendedprice", "lo_discount", combine="mul")
+        .build(db)
+    ),
+    lambda db: (
+        Q("lineorder")
+        .where((col("lo_discount") <= 2) & ((col("lo_quantity") < 10) | (col("lo_quantity") > 40)))
+        .join("supplier", on=("lo_suppkey", "s_suppkey"), payload="s_region")
+        .group_by("s_region")
+        .agg("avg", "lo_revenue")
+        .build(db)
+    ),
+]
+
+
+@pytest.fixture(scope="module", params=START_METHODS)
+def pooled(request, tiny_ssb):
+    """One sharded session per start method, pool kept warm for the module."""
+    session = Session(tiny_ssb, shard_start_method=request.param)
+    yield session
+    session.close()
+
+
+class TestPooledDifferential:
+    @pytest.mark.parametrize("shards", [2, 3])
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_all_13_queries(self, tiny_ssb, pooled, name, shards):
+        query = QUERIES[name]
+        expected_value, expected_profile = execute_query_monolithic(tiny_ssb, query)
+        with activate_zones(pooled._zone_cache):
+            value, profile = pooled.shard_executor().execute(tiny_ssb, query, shards)
+        assert value == expected_value
+        assert profile == expected_profile
+
+    @pytest.mark.parametrize("index", range(len(OR_TREE_QUERIES)))
+    def test_or_trees(self, tiny_ssb, pooled, index):
+        query = OR_TREE_QUERIES[index](tiny_ssb)
+        expected_value, expected_profile = execute_query_monolithic(tiny_ssb, query)
+        with activate_zones(pooled._zone_cache):
+            value, profile = pooled.shard_executor().execute(tiny_ssb, query, 3)
+        assert value == expected_value
+        assert profile == expected_profile
+
+    def test_session_run_matches_unsharded(self, tiny_ssb, pooled):
+        sharded = pooled.run(QUERIES["q4.2"], shards=2, cache=False)
+        plain = pooled.run(QUERIES["q4.2"], cache=False)
+        assert sharded.records == plain.records
+        assert sharded.result.stats == plain.result.stats
+        assert sharded.result.time == plain.result.time
+
+    def test_run_many_through_shard_pool(self, tiny_ssb, pooled):
+        queries = [QUERIES[name] for name in sorted(QUERIES)[:4]]
+        sharded = pooled.run_many(queries, shards=2, cache=False)
+        plain = pooled.run_many(queries, cache=False)
+        for a, b in zip(sharded, plain):
+            assert a.records == b.records
+
+    def test_counters_and_fallbacks(self, tiny_ssb, pooled):
+        executor = pooled.shard_executor()
+        before = pooled.counters()
+        pooled.run(QUERIES["q1.1"], shards=2, cache=False)
+        delta = pooled.counters() - before
+        assert delta.shard_queries == 1
+        assert delta.shard_tasks >= 1
+        assert delta.shard_fallbacks == 0
+        # An off-database query cannot shard: it falls back, counted.
+        from repro.ssb import generate_ssb
+
+        foreign = generate_ssb(scale_factor=0.005, seed=3)
+        value, _ = executor.execute(foreign, QUERIES["q1.1"], 2)
+        expected, _ = execute_query_monolithic(foreign, QUERIES["q1.1"])
+        assert value == expected
+        assert executor.stats().fallbacks >= 1
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: execution-cache keying across execution strategies
+# ----------------------------------------------------------------------
+
+
+class TestCacheKeying:
+    def test_shards_one_shares_entry_with_plain_and_threaded(self, tiny_ssb):
+        with Session(tiny_ssb) as session:
+            session.run(QUERIES["q1.1"])  # plain: miss, populates
+            info = session.cache_info()
+            assert (info.hits, info.misses) == (0, 1)
+            session.run(QUERIES["q1.1"], shards=1)  # same key: hit
+            info = session.cache_info()
+            assert (info.hits, info.misses) == (1, 1)
+            # The morsel-threaded path shares the same entries.
+            session.run_many([QUERIES["q1.1"]] * 2, workers=2, oversubscribe=True)
+            info = session.cache_info()
+            assert (info.hits, info.misses) == (3, 1)
+
+    def test_sharded_entries_key_separately_but_agree(self, tiny_ssb):
+        with Session(tiny_ssb) as session:
+            plain = session.run(QUERIES["q2.1"])
+            sharded = session.run(QUERIES["q2.1"], shards=2)
+            info = session.cache_info()
+            assert info.misses == 2  # distinct entries
+            assert session.run(QUERIES["q2.1"], shards=2).records == sharded.records
+            assert session.cache_info().hits == 1  # sharded entry replays
+            # Truthful profiles: the sharded entry's accounting is the
+            # byte-identical fold, so both entries answer identically.
+            assert sharded.records == plain.records
+            assert sharded.result.stats == plain.result.stats
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: shared-memory leak safety
+# ----------------------------------------------------------------------
+
+
+class TestLeakSafety:
+    @pytest.mark.parametrize("method", START_METHODS)
+    def test_session_churn_leaves_dev_shm_clean(self, tiny_ssb, method):
+        baseline = set(_shm_segments())
+        for _ in range(3):
+            with Session(tiny_ssb, shards=2, shard_start_method=method) as session:
+                session.run(QUERIES["q1.2"], cache=False)
+                assert len(_shm_segments()) > len(baseline)  # segments live
+        assert set(_shm_segments()) == baseline
+
+    def test_close_is_idempotent_and_unlinks(self, tiny_ssb):
+        session = Session(tiny_ssb, shards=2)
+        session.run(QUERIES["q1.1"], cache=False)
+        executor = session.shard_executor()
+        assert executor.registry.num_segments > 0
+        session.close()
+        session.close()
+        assert executor.registry.closed
+        assert executor.registry.num_segments == 0
+
+    def test_registry_refuses_new_segments_after_close(self, tiny_ssb):
+        import numpy as np
+
+        from repro.storage.shm import SharedMemoryRegistry
+
+        registry = SharedMemoryRegistry()
+        spec = registry.share_array(np.arange(8))
+        assert any(spec.segment in path for path in _shm_segments())
+        registry.close()
+        assert not any(spec.segment in path for path in _shm_segments())
+        with pytest.raises(RuntimeError):
+            registry.share_array(np.arange(8))
+
+
+# ----------------------------------------------------------------------
+# Validation and service integration
+# ----------------------------------------------------------------------
+
+
+class TestValidationAndService:
+    def test_bad_shard_counts_rejected(self, tiny_ssb):
+        with pytest.raises(ValueError):
+            Session(tiny_ssb, shards=0)
+        with Session(tiny_ssb) as session:
+            with pytest.raises(ValueError):
+                session.run(QUERIES["q1.1"], shards=0)
+
+    def test_bad_start_method_rejected(self, tiny_ssb):
+        with pytest.raises(ValueError):
+            ShardExecutor(tiny_ssb, start_method="bogus")
+
+    def test_bind_validates(self, tiny_ssb):
+        executor = ShardExecutor(tiny_ssb)
+        try:
+            with pytest.raises(ValueError):
+                executor.bind(0)
+        finally:
+            executor.close()
+
+    def test_query_service_dispatches_sharded(self, tiny_ssb):
+        from repro.service.service import QueryService
+
+        async def serve():
+            with Session(tiny_ssb) as session:
+                async with QueryService(session, shards=2) as service:
+                    return await service.submit(QUERIES["q3.1"])
+
+        outcome = asyncio.run(serve())
+        expected, _ = execute_query_monolithic(tiny_ssb, QUERIES["q3.1"])
+        assert outcome.result.result.value == expected
+        assert outcome.trace.counters.shard_queries == 1
+
+    def test_query_service_rejects_bad_shards(self, tiny_ssb):
+        from repro.service.service import QueryService
+
+        with Session(tiny_ssb) as session:
+            with pytest.raises(ValueError):
+                QueryService(session, shards=0)
