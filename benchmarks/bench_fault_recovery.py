@@ -1,0 +1,157 @@
+"""Fault-recovery cost of the sharded plane: kill, unlink, raise -- and heal.
+
+Chaos with a stopwatch, written to ``BENCH_faults.json``: the 13-query SSB
+batch runs sharded on a warm pool, once clean and once per fault mode with
+a deterministic :class:`~repro.faults.FaultPlan` injecting real failures
+into the first query's shard tasks -- a worker ``kill`` (the pool is
+poisoned and rebuilt), a segment ``unlink`` (the export is re-published at
+fresh names), and a transient ``raise`` (tasks simply resubmitted).
+
+1. **Parity first, parity last**: the batch's answers are captured from
+   the monolithic plane before timing, and every faulted batch is asserted
+   byte-identical to them after its recovery.  A recovery path that heals
+   into the wrong answer fails the script before any JSON is written.
+2. **Recovery latency**: each mode's batch wall clock minus the clean
+   batch wall clock is the measured cost of absorbing that failure --
+   dominated by pool rebuild for ``kill``, re-export for ``unlink``, and
+   plain resubmission for ``raise``.
+3. **Counter audit**: the per-mode counter delta (retries, pool rebuilds,
+   failure fallbacks) is recorded, and the script asserts the injected
+   faults actually fired and were actually recovered from -- a bench run
+   where the chaos silently missed is a failure, not a fast result.
+
+CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_fault_recovery.py --sf 0.01 \
+        --repeats 2 --output BENCH_faults.json
+"""
+
+from __future__ import annotations
+
+from bench_util import bench_arg_parser, time_best, write_json_atomic
+from repro.api import Session
+from repro.faults import SHARD_TASK, FaultPlan, FaultPoint, activate_faults
+from repro.ssb.generator import generate_ssb
+from repro.ssb.queries import QUERIES, QUERY_ORDER
+
+DEFAULT_SCALE_FACTOR = 0.02
+DEFAULT_SEED = 7
+DEFAULT_SHARDS = 2
+
+#: The fault modes measured, in report order.
+MODES = ("raise", "unlink", "kill")
+
+
+def _counters_dict(delta) -> dict:
+    return {
+        "shard_queries": delta.shard_queries,
+        "shard_retries": delta.shard_retries,
+        "pool_rebuilds": delta.pool_rebuilds,
+        "failure_fallbacks": delta.failure_fallbacks,
+    }
+
+
+def run_fault_recovery_benchmark(
+    scale_factor: float = DEFAULT_SCALE_FACTOR,
+    seed: int = DEFAULT_SEED,
+    shards: int = DEFAULT_SHARDS,
+    repeats: int = 2,
+    start_method: "str | None" = None,
+) -> dict:
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if shards < 2:
+        raise ValueError(f"shards must be >= 2 to exercise the shard plane, got {shards}")
+    db = generate_ssb(scale_factor=scale_factor, seed=seed)
+    queries = [QUERIES[name] for name in QUERY_ORDER]
+
+    with Session(db, shard_start_method=start_method) as session:
+        # Capture the ground truth from the monolithic plane, and warm
+        # everything the faulted runs will lean on (zone statistics, the
+        # shared-memory export, the worker pool), so every timed batch
+        # measures steady-state dispatch plus -- for the faulted ones --
+        # exactly the recovery work.
+        expected = {
+            query.name: session.run(query, cache=False).records for query in queries
+        }
+
+        def batch() -> list:
+            return [session.run(query, shards=shards, cache=False) for query in queries]
+
+        for result, query in zip(batch(), queries):  # parity gate + pool warmup
+            if result.records != expected[query.name]:
+                raise AssertionError(f"sharded plane diverged on {query.name}")
+
+        clean_s = time_best(batch, repeats)
+
+        modes = {}
+        for mode in MODES:
+            plan = FaultPlan([FaultPoint(site=SHARD_TASK, mode=mode, times=2)])
+            before = session.counters()
+            with activate_faults(plan):
+                faulted_s = time_best(batch, 1)  # one-shot: the plan fires once
+            delta = session.counters() - before
+            recovered = delta.shard_retries + delta.pool_rebuilds + delta.failure_fallbacks
+            if plan.fired(SHARD_TASK) < 1:
+                raise AssertionError(f"{mode}: the fault plan never fired")
+            if recovered < 1:
+                raise AssertionError(f"{mode}: no recovery is visible in the counters")
+            # Post-fault parity: the healed plane still answers byte-identically.
+            for result, query in zip(batch(), queries):
+                if result.records != expected[query.name]:
+                    raise AssertionError(f"{mode}: post-recovery divergence on {query.name}")
+            modes[mode] = {
+                "batch_s": faulted_s,
+                "recovery_overhead_s": faulted_s - clean_s,
+                "faults_fired": plan.fired(SHARD_TASK),
+                "counters": _counters_dict(delta),
+                "post_fault_parity": True,
+            }
+
+    return {
+        "benchmark": "fault_recovery",
+        "scale_factor": scale_factor,
+        "seed": seed,
+        "shards": shards,
+        "start_method": start_method,
+        "repeats": repeats,
+        "queries": [query.name for query in queries],
+        "clean_batch_s": clean_s,
+        "modes": modes,
+    }
+
+
+def main() -> None:
+    parser = bench_arg_parser(
+        "Measure sharded-plane recovery latency under injected faults",
+        output="BENCH_faults.json",
+        scale_factor=DEFAULT_SCALE_FACTOR,
+        seed=DEFAULT_SEED,
+        repeats=2,
+    )
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS)
+    parser.add_argument("--start-method", default=None, choices=("fork", "spawn"))
+    args = parser.parse_args()
+
+    report = run_fault_recovery_benchmark(
+        scale_factor=args.scale_factor,
+        seed=args.seed,
+        shards=args.shards,
+        repeats=args.repeats,
+        start_method=args.start_method,
+    )
+    write_json_atomic(args.output, report)
+    print(f"clean 13-query batch (shards={report['shards']}): {report['clean_batch_s'] * 1e3:.1f} ms")
+    for mode, entry in report["modes"].items():
+        counters = entry["counters"]
+        print(
+            f"  {mode:>6}: batch {entry['batch_s'] * 1e3:.1f} ms "
+            f"(+{entry['recovery_overhead_s'] * 1e3:.1f} ms), "
+            f"fired {entry['faults_fired']}, retries {counters['shard_retries']}, "
+            f"rebuilds {counters['pool_rebuilds']}, fallbacks {counters['failure_fallbacks']}"
+        )
+    print(f"report written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Chaos recovery: kill workers, tear down segments, and watch it heal.
+
+Failure handling that only production failures exercise is untested code,
+so the repro makes failure a reproducible *input*: a
+:class:`~repro.faults.FaultPlan` schedules named faults ("on the next
+shard task: kill the worker") that the instrumented sites execute
+deterministically.  This example walks the degradation ladder bottom-up:
+
+1. **Shard rung** -- a worker is killed mid-query (``os._exit``, the real
+   thing: the process pool is poisoned), then a shared-memory segment is
+   unlinked out from under a task.  The executor rebuilds the pool,
+   re-exports the segments, resubmits only the missing shards, and the
+   answers stay byte-identical to the monolithic plane.
+2. **Fallback rung** -- with a zero retry budget, the same fault drops the
+   query to the monolithic plane instead: slower, never wrong.
+3. **Service rung** -- transient failures upstream of execution are
+   retried with exponential backoff and deterministic jitter; the request
+   trace records every absorbed attempt.
+4. **Breaker rung** -- repeated shard-plane failures trip a circuit
+   breaker that routes queries to ``shards=1`` until a full-width probe
+   succeeds.
+
+Run with::
+
+    python examples/chaos_recovery.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import QUERIES, FaultPlan, FaultPoint, QueryService, ResiliencePolicy, Session, generate_ssb
+from repro.faults import SERVICE_EXECUTE, SHARD_TASK
+
+
+def shard_rung(db) -> None:
+    print("== shard rung: worker kill, then segment unlink ==")
+    expected = None
+    for mode in ("kill", "unlink"):
+        plan = FaultPlan([FaultPoint(site=SHARD_TASK, mode=mode)])
+        with Session(db, faults=plan) as session:
+            before = session.counters()
+            result = session.run(QUERIES["q2.1"], shards=2, cache=False)
+            delta = session.counters() - before
+            if expected is None:
+                expected = session.run(QUERIES["q2.1"], cache=False).records
+            print(
+                f"  {mode:>6}: answer identical to monolithic: "
+                f"{result.records == expected} | retries {delta.shard_retries}, "
+                f"pool rebuilds {delta.pool_rebuilds}, fired {plan.fired(SHARD_TASK)}"
+            )
+
+
+def fallback_rung(db) -> None:
+    print("== fallback rung: retry budget 0 drops to the monolithic plane ==")
+    plan = FaultPlan([FaultPoint(site=SHARD_TASK, mode="raise", times=2)])
+    policy = ResiliencePolicy(shard_retry_budget=0)
+    with Session(db, faults=plan, resilience=policy) as session:
+        before = session.counters()
+        result = session.run(QUERIES["q1.1"], shards=2, cache=False)
+        delta = session.counters() - before
+        plain = session.run(QUERIES["q1.1"], cache=False)
+        print(
+            f"  failure fallbacks {delta.failure_fallbacks}, shard queries "
+            f"{delta.shard_queries} | answer identical: {result.records == plain.records}"
+        )
+
+
+def service_rung(db) -> None:
+    print("== service rung: transient failures absorbed by backoff + retry ==")
+    plan = FaultPlan([FaultPoint(site=SERVICE_EXECUTE, mode="raise", times=2)])
+    policy = ResiliencePolicy(max_attempts=3, backoff_base_s=0.01)
+
+    async def go():
+        with Session(db, faults=plan, resilience=policy) as session:
+            async with QueryService(session) as service:
+                outcome = await service.submit(QUERIES["q3.1"])
+                return outcome.trace, service.stats
+
+    trace, stats = asyncio.run(go())
+    print(f"  status {trace.status} after {trace.attempts} attempts (plane: {trace.plane})")
+    for entry in trace.faults:
+        print(f"    absorbed: {entry}")
+    print(f"  service retries counted: {stats.retries}")
+
+
+def breaker_rung(db) -> None:
+    print("== breaker rung: repeated shard failures trip, probe, heal ==")
+    plan = FaultPlan([FaultPoint(site=SHARD_TASK, mode="raise", times=4)])
+    policy = ResiliencePolicy(shard_retry_budget=0, breaker_threshold=2, breaker_probe_every=2)
+
+    async def go():
+        with Session(db, faults=plan, resilience=policy, cache=False) as session:
+            async with QueryService(session, shards=2, max_inflight=1) as service:
+                rows = []
+                for _ in range(5):
+                    outcome = await service.submit(QUERIES["q1.1"])
+                    rows.append((outcome.trace.plane, service.breaker_open))
+                return rows, service.stats
+
+    rows, stats = asyncio.run(go())
+    for i, (plane, open_) in enumerate(rows, 1):
+        print(f"  request {i}: plane {plane:<20} breaker open: {open_}")
+    print(f"  breaker trips: {stats.breaker_trips}")
+
+
+def main() -> None:
+    db = generate_ssb(scale_factor=0.01, seed=42)
+    shard_rung(db)
+    fallback_rung(db)
+    service_rung(db)
+    breaker_rung(db)
+    print("done: every failure was absorbed; every answer stayed byte-identical")
+
+
+if __name__ == "__main__":
+    main()

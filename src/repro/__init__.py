@@ -22,6 +22,9 @@ Analytics*:
   Nvidia V100 platforms all timings are reported on.
 * :mod:`repro.analysis` -- the experiment registry that regenerates every
   figure and table of the paper's evaluation, plus the Table 3 cost model.
+* :mod:`repro.faults` -- deterministic fault injection (:class:`FaultPlan`)
+  and the :class:`ResiliencePolicy` knobs of the degradation ladder the
+  shard, storage, and service layers climb down under failure.
 
 Quickstart::
 
@@ -45,12 +48,15 @@ Quickstart::
     print(session.compare(orders, engines=["cpu", "gpu", "coprocessor"]))
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.api import (
+    FaultPlan,
+    FaultPoint,
     Q,
     QueryBuilder,
     QueryValidationError,
+    ResiliencePolicy,
     ResultSet,
     Session,
     available_engines,
@@ -88,6 +94,8 @@ __all__ = [
     "BuildArtifactCache",
     "CPUStandaloneEngine",
     "CoprocessorEngine",
+    "FaultPlan",
+    "FaultPoint",
     "FilterSpec",
     "GPUStandaloneEngine",
     "HyperLikeEngine",
@@ -111,6 +119,7 @@ __all__ = [
     "QueryTimeoutError",
     "QueryValidationError",
     "RequestTrace",
+    "ResiliencePolicy",
     "ResultSet",
     "SSBQuery",
     "ServiceResult",

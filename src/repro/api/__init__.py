@@ -30,6 +30,7 @@ from repro.api.registry import (
 )
 from repro.api.resultset import ResultSet
 from repro.api.session import Comparison, ComparisonRow, Session, values_agree
+from repro.faults import FaultPlan, FaultPoint, ResiliencePolicy
 
 # Importing the engine package registers the six built-in engines with
 # DEFAULT_REGISTRY (each engine class carries a @register_engine decorator).
@@ -42,9 +43,12 @@ __all__ = [
     "DEFAULT_REGISTRY",
     "Engine",
     "EngineRegistry",
+    "FaultPlan",
+    "FaultPoint",
     "Q",
     "QueryBuilder",
     "QueryValidationError",
+    "ResiliencePolicy",
     "ResultSet",
     "Session",
     "available_engines",

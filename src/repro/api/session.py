@@ -68,6 +68,7 @@ from repro.engine.cache import (
 )
 from repro.engine.physical import lower_query, staged_builds
 from repro.engine.planner import JoinOrderPlanner
+from repro.faults import FaultPlan, ResiliencePolicy, activate_faults
 from repro.ssb.queries import SSBQuery
 from repro.storage import Database
 
@@ -202,10 +203,22 @@ class Session:
         zone_size: int | None = None,
         shards: int | None = None,
         shard_start_method: str | None = None,
+        resilience: ResiliencePolicy | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if shards is not None and shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.db = db
+        #: The failure-handling knobs every layer consults: the shard
+        #: executor takes its retry budget and task timeout from here, and
+        #: :class:`~repro.service.QueryService` defaults its retry/breaker
+        #: ladder to the same policy.
+        self.resilience = resilience if resilience is not None else ResiliencePolicy()
+        #: Deterministic fault injection (chaos testing): when set, every
+        #: execution activates this plan so the instrumented sites
+        #: (shard tasks, shm attach/export) fire on schedule.  ``None`` --
+        #: the production default -- keeps every site a no-op.
+        self.faults = faults
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self._planner = planner
         self._engines: dict[str, Engine] = {}
@@ -318,6 +331,8 @@ class Session:
                     start_method=self._shard_start_method,
                     zones=self._zone_cache is not None,
                     zone_size=self._zone_size,
+                    retry_budget=self.resilience.shard_retry_budget,
+                    task_timeout_s=self.resilience.shard_task_timeout_s,
                 )
             return self._shards
 
@@ -462,6 +477,11 @@ class Session:
         if effective is not None and effective < 1:
             raise ValueError(f"shards must be >= 1, got {effective}")
         with ExitStack() as stack:
+            if self.faults is not None:
+                # Installed here, on the executing thread, because
+                # ``loop.run_in_executor`` does not propagate ContextVars:
+                # this is the one place every execution path flows through.
+                stack.enter_context(activate_faults(self.faults))
             if self._zone_cache is not None:
                 stack.enter_context(activate_zones(self._zone_cache))
             if effective is not None and effective > 1:

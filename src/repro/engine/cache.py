@@ -105,6 +105,12 @@ class CounterSnapshot(NamedTuple):
     shard_queries: int = 0
     shard_tasks: int = 0
     shard_fallbacks: int = 0
+    #: Fault recovery: shard-task retry rounds absorbed, worker pools torn
+    #: down and rebuilt after a failure, and queries that exhausted their
+    #: retry budget and fell back to the monolithic plane.
+    shard_retries: int = 0
+    pool_rebuilds: int = 0
+    failure_fallbacks: int = 0
 
     def __sub__(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
         return CounterSnapshot(*(a - b for a, b in zip(self, earlier)))
@@ -154,6 +160,9 @@ def snapshot_counters(
         shard_queries=shard_info.queries if shard_info else 0,
         shard_tasks=shard_info.tasks if shard_info else 0,
         shard_fallbacks=shard_info.fallbacks if shard_info else 0,
+        shard_retries=shard_info.retries if shard_info else 0,
+        pool_rebuilds=shard_info.pool_rebuilds if shard_info else 0,
+        failure_fallbacks=shard_info.failure_fallbacks if shard_info else 0,
     )
 
 

@@ -38,13 +38,15 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import NamedTuple
 
 import numpy as np
 
 from repro.engine.cache import active_build_cache, active_zone_maps
+from repro.faults import SHARD_TASK, FaultAction, TransientFaultError, active_fault_plan
 from repro.engine.physical import BuildArtifact, execute_physical, execute_physical_partial, lower_query
 from repro.engine.plan import QueryProfile, fold_shard_profiles, merge_partial_aggregates
 from repro.ssb.queries import SSBQuery
@@ -60,6 +62,18 @@ from repro.storage.zonemap import DEFAULT_ZONE_SIZE, PACKED_MAX_BITS
 #: workers through shared memory; smaller ones pickle inline with the task
 #: (cheaper than a segment round-trip for e.g. a 64-entry year lookup).
 INLINE_ARTIFACT_BYTES = 256 * 1024
+
+#: Failures one retry round of :meth:`ShardExecutor.execute` can recover
+#: from: a poisoned pool (worker death), a hung task (per-task timeout), a
+#: torn-down segment (attach after an unlink -- re-export fixes it), and an
+#: injected/declared transient.  Anything else is a real query error and
+#: propagates immediately.
+RECOVERABLE_SHARD_FAILURES = (
+    BrokenExecutor,
+    FuturesTimeoutError,
+    FileNotFoundError,
+    TransientFaultError,
+)
 
 
 def shard_ranges(num_rows: int, shards: int, zone_size: int = DEFAULT_ZONE_SIZE) -> list[tuple[int, int]]:
@@ -134,6 +148,10 @@ class ShardTask:
     zones: bool
     zone_size: int
     packed_max_bits: int
+    #: An armed fault the worker executes before the shard runs (chaos
+    #: testing only; ``None`` on every production task).  Armed parent-side
+    #: because ContextVars do not cross the process boundary.
+    fault: FaultAction | None = None
 
 
 class ShardStats(NamedTuple):
@@ -148,6 +166,14 @@ class ShardStats(NamedTuple):
     fallbacks: int
     #: Worker processes the persistent pool currently holds (0 = not spun up).
     workers: int
+    #: Recoverable-failure retry rounds absorbed (pool rebuilt, segments
+    #: re-exported, or tasks simply resubmitted).
+    retries: int = 0
+    #: Worker pools discarded after a failure and rebuilt on the next round.
+    pool_rebuilds: int = 0
+    #: Queries that exhausted the retry budget and fell back to the
+    #: monolithic plane (the ladder's last rung -- still byte-identical).
+    failure_fallbacks: int = 0
 
 
 class ShardBinding:
@@ -191,17 +217,27 @@ class ShardExecutor:
         zones: bool = True,
         zone_size: int | None = None,
         packed_max_bits: int | None = None,
+        retry_budget: int = 2,
+        task_timeout_s: float | None = None,
     ) -> None:
         if start_method is not None and start_method not in multiprocessing.get_all_start_methods():
             raise ValueError(
                 f"start method {start_method!r} is not available on this platform; "
                 f"choose from {multiprocessing.get_all_start_methods()}"
             )
+        if retry_budget < 0:
+            raise ValueError(f"retry_budget must be >= 0, got {retry_budget}")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError(f"task_timeout_s must be positive, got {task_timeout_s}")
         self.db = db
         self.start_method = start_method
         self.zones = zones
         self.zone_size = DEFAULT_ZONE_SIZE if zone_size is None else zone_size
         self.packed_max_bits = PACKED_MAX_BITS if packed_max_bits is None else packed_max_bits
+        #: Recoverable failures one query absorbs before the monolithic
+        #: fallback rung; per-task result wait (None = no hang guard).
+        self.retry_budget = retry_budget
+        self.task_timeout_s = task_timeout_s
         self.registry = SharedMemoryRegistry()
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers = 0
@@ -218,6 +254,9 @@ class ShardExecutor:
         self.queries = 0
         self.tasks = 0
         self.fallbacks = 0
+        self.retries = 0
+        self.pool_rebuilds = 0
+        self.failure_fallbacks = 0
 
     # ------------------------------------------------------------------
     def bind(self, shards: int) -> ShardBinding:
@@ -233,10 +272,21 @@ class ShardExecutor:
                 tasks=self.tasks,
                 fallbacks=self.fallbacks,
                 workers=self._pool_workers,
+                retries=self.retries,
+                pool_rebuilds=self.pool_rebuilds,
+                failure_fallbacks=self.failure_fallbacks,
             )
 
     def close(self) -> None:
-        """Shut the worker pool down and unlink every shared segment."""
+        """Shut the worker pool down and unlink every shared segment.
+
+        Idempotent and exception-safe: a second close (``Session.close``
+        racing the registry's atexit hook) returns immediately, a pool
+        poisoned by worker death must not abort the shutdown, and the
+        registry is closed unconditionally -- its own unlink path already
+        tolerates names that vanished underneath it, so segments are never
+        double-unlinked.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -246,9 +296,13 @@ class ShardExecutor:
             self._exports.clear()
             self._artifact_refs.clear()
             self._artifact_pins.clear()
-        if pool is not None:
-            pool.shutdown(wait=True)
-        self.registry.close()
+        try:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken pools may still raise
+            pass
+        finally:
+            self.registry.close()
 
     def __enter__(self) -> "ShardExecutor":
         return self
@@ -265,6 +319,19 @@ class ShardExecutor:
         normal ``Session._execute`` path): zone maps come from
         :func:`~repro.engine.cache.active_zone_maps`, parent-side builds go
         through :func:`~repro.engine.cache.active_build_cache`.
+
+        Failure handling is a ladder, each rung cheaper than the last:
+        recoverable failures (:data:`RECOVERABLE_SHARD_FAILURES`) are
+        repaired in place -- a poisoned pool is discarded and rebuilt, a
+        torn-down segment's export is released and re-published at fresh
+        names -- and only the *missing* shard tasks are resubmitted, under
+        a per-query ``retry_budget``; exhausting the budget drops to the
+        monolithic plane (``failure_fallbacks``), which computes the same
+        bytes from the parent's own arrays.  Completed shards are never
+        re-run: a partial computed against the old export merges with
+        partials from the re-export byte-identically, because both alias
+        the same frozen snapshot.  Real query errors (bad column, bad
+        spec) propagate immediately -- retrying them cannot help.
         """
         fact_name = getattr(query, "fact", None)
         tables = getattr(db, "tables", None)
@@ -286,53 +353,130 @@ class ShardExecutor:
         if n == 0:
             return self._fallback(db, query)
 
-        export = self._export_for(db, fact)
-        artifacts = tuple(
-            self._artifact_ref(build.fetch_artifact(db, active_build_cache()))
-            for build in plan.builds
-        )
+        faults = active_fault_plan()
         ranges = [r for r in shard_ranges(n, shards, self.zone_size) if r[1] > r[0]]
-        tasks = [
-            ShardTask(
-                export=export,
-                query=query,
-                start=start,
-                stop=stop,
-                artifacts=artifacts,
-                zones=self.zones,
-                zone_size=self.zone_size,
-                packed_max_bits=self.packed_max_bits,
-            )
-            for start, stop in ranges
-        ]
-        pool = self._ensure_pool(shards)
         # Deferred import keeps the worker module (and its module globals)
         # out of the parent's hot path until sharding is actually used.
         from repro.engine.shard_worker import run_shard_task
 
-        futures = [pool.submit(run_shard_task, task) for task in tasks]
-        results = [future.result() for future in futures]
+        results: dict[int, tuple] = {}
+        budget = self.retry_budget
+        export = None
+        artifacts: tuple = ()
+        while len(results) < len(ranges):
+            error: BaseException | None = None
+            futures: dict[int, object] = {}
+            try:
+                if export is None:
+                    export = self._export_for(db, fact)
+                    artifacts = tuple(
+                        self._artifact_ref(build.fetch_artifact(db, active_build_cache()))
+                        for build in plan.builds
+                    )
+                pool = self._ensure_pool(shards)
+                for i in range(len(ranges)):
+                    if i in results:
+                        continue
+                    start, stop = ranges[i]
+                    futures[i] = pool.submit(
+                        run_shard_task,
+                        ShardTask(
+                            export=export,
+                            query=query,
+                            start=start,
+                            stop=stop,
+                            artifacts=artifacts,
+                            zones=self.zones,
+                            zone_size=self.zone_size,
+                            packed_max_bits=self.packed_max_bits,
+                            fault=faults.arm(SHARD_TASK) if faults is not None else None,
+                        ),
+                    )
+            except RECOVERABLE_SHARD_FAILURES as exc:
+                error = exc
+            for i, future in futures.items():
+                try:
+                    results[i] = future.result(timeout=self.task_timeout_s)
+                except RECOVERABLE_SHARD_FAILURES as exc:
+                    if error is None:
+                        error = exc
+            if error is None:
+                continue
+            if isinstance(error, (BrokenExecutor, FuturesTimeoutError)):
+                # Worker death poisons the whole pool; a hung task may as
+                # well have.  Discard it -- the next round builds a fresh
+                # one (segments survive: the parent owns them).
+                self._discard_pool()
+            if isinstance(error, FileNotFoundError):
+                # A segment name vanished under an attach (worker-side
+                # unlink, foreign janitor).  Release the export's surviving
+                # names and re-publish at fresh ones next round.
+                self._invalidate_export(fact_name)
+                export = None
+            if budget <= 0:
+                with self._lock:
+                    self.failure_fallbacks += 1
+                return execute_physical(db, plan)
+            budget -= 1
+            with self._lock:
+                self.retries += 1
 
-        partials = [partial for partial, _, _ in results]
-        profiles = [profile for _, profile, _ in results]
+        ordered = [results[i] for i in range(len(ranges))]
+        partials = [partial for partial, _, _ in ordered]
+        profiles = [profile for _, profile, _ in ordered]
         value = merge_partial_aggregates(partials)
         profile = fold_shard_profiles(profiles, value)
         zone_cache = active_zone_maps()
         if zone_cache is not None:
-            for _, _, (skipped, taken, evaluated, rows_pruned) in results:
+            for _, _, (skipped, taken, evaluated, rows_pruned) in ordered:
                 if skipped or taken or evaluated or rows_pruned:
                     zone_cache.record(
                         skipped=skipped, taken=taken, evaluated=evaluated, rows_pruned=rows_pruned
                     )
         with self._lock:
             self.queries += 1
-            self.tasks += len(tasks)
+            self.tasks += len(ranges)
         return value, profile
 
     def _fallback(self, db, query: SSBQuery) -> tuple[object, QueryProfile]:
         with self._lock:
             self.fallbacks += 1
         return execute_physical(db, lower_query(query, db))
+
+    def _discard_pool(self) -> None:
+        """Drop the (presumed poisoned) pool; the next round rebuilds it."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._pool_workers = 0
+            if pool is not None:
+                self.pool_rebuilds += 1
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken pools may raise
+                pass
+
+    def _invalidate_export(self, fact_name: str) -> None:
+        """Forget ``fact_name``'s export (and every shm artifact ref).
+
+        Releases whatever segment names survive -- the registry tolerates
+        names an unlink fault already removed -- so the next round's
+        re-export publishes under fresh names and workers re-attach
+        cleanly.  Artifact refs are dropped wholesale: artifacts are built
+        in the parent and re-shared cheaply, and a concurrent query racing
+        this release simply takes the same recovery path.
+        """
+        with self._lock:
+            held = self._exports.pop(fact_name, None)
+            refs, self._artifact_refs = self._artifact_refs, {}
+            self._artifact_pins.clear()
+        names = list(held[2]) if held is not None else []
+        for ref in refs.values():
+            if isinstance(ref, ShmArtifact):
+                names.append(ref.lookup.segment)
+                names.append(ref.present.segment)
+        if names:
+            self.registry.release(names)
 
     # ------------------------------------------------------------------
     def _ensure_pool(self, shards: int) -> ProcessPoolExecutor:

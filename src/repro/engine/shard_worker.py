@@ -30,6 +30,7 @@ from __future__ import annotations
 from repro.engine.cache import ZoneMapCache, activate_zones
 from repro.engine.physical import BuildArtifact, execute_physical_partial, lower_query
 from repro.engine.shard import InlineArtifact, ShardTask, ShmArtifact
+from repro.faults import FaultAction, execute_fault, unlink_segment
 from repro.storage.database import Database
 from repro.storage.shm import attach_array, attach_table
 
@@ -89,6 +90,37 @@ def _resolve_artifact(ref: InlineArtifact | ShmArtifact) -> BuildArtifact:
     return artifact
 
 
+def _apply_fault(task: ShardTask) -> None:
+    """Execute the task's armed fault, if any (chaos testing only).
+
+    ``kill``/``raise``/``latency`` run through the shared
+    :func:`~repro.faults.execute_fault`.  ``unlink`` is worker-shaped: it
+    tears the export's first column segment out of ``/dev/shm`` and drops
+    this process's memoized reconstructions of the export, so the re-attach
+    deterministically observes :class:`FileNotFoundError` even on a warm
+    pool -- the exact debris a crashed owner leaves for a sibling.
+    """
+    action: "FaultAction | None" = task.fault
+    if action is None:
+        return
+    if action.mode != "unlink":
+        execute_fault(action)
+        return
+    export = task.export
+    unlink_segment(export.columns[0][1].spec.segment)
+    for key in [k for k in _TABLES if k[0] == export.name and k[1] == export.version]:
+        del _TABLES[key]
+    names = {item.spec.segment for _, item in export.columns}
+    names |= {item.words.segment for _, item in export.packed if item is not None}
+    for name in names:
+        segment = _SEGMENTS.pop(name, None)
+        if segment is not None:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - a view outlived the memo
+                pass
+
+
 def run_shard_task(task: ShardTask):
     """Execute one shard and return ``(partial, profile, zone_delta)``.
 
@@ -98,6 +130,7 @@ def run_shard_task(task: ShardTask):
     pruning activity into its own counters.  Exceptions propagate to the
     parent through the future, carrying the worker traceback.
     """
+    _apply_fault(task)
     db, zone_cache = _database_for(task)
     artifacts = tuple(_resolve_artifact(ref) for ref in task.artifacts)
     if task.zones:

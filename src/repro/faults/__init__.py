@@ -1,0 +1,46 @@
+"""Deterministic fault injection and the resilience policy that absorbs it.
+
+See :mod:`repro.faults.plan` for the injection subsystem (seeded
+:class:`FaultPlan` schedules over named sites, four failure modes) and
+:mod:`repro.faults.policy` for :class:`ResiliencePolicy`, the single value
+object carrying the retry / breaker / fallback knobs of the degradation
+ladder.
+"""
+
+from repro.faults.plan import (
+    FAULT_MODES,
+    KILL_EXIT_CODE,
+    SERVICE_EXECUTE,
+    SHARD_TASK,
+    SHM_ATTACH,
+    SHM_EXPORT,
+    FaultAction,
+    FaultError,
+    FaultPlan,
+    FaultPoint,
+    TransientFaultError,
+    activate_faults,
+    active_fault_plan,
+    execute_fault,
+    unlink_segment,
+)
+from repro.faults.policy import ResiliencePolicy
+
+__all__ = [
+    "FAULT_MODES",
+    "KILL_EXIT_CODE",
+    "SERVICE_EXECUTE",
+    "SHARD_TASK",
+    "SHM_ATTACH",
+    "SHM_EXPORT",
+    "FaultAction",
+    "FaultError",
+    "FaultPlan",
+    "FaultPoint",
+    "ResiliencePolicy",
+    "TransientFaultError",
+    "activate_faults",
+    "active_fault_plan",
+    "execute_fault",
+    "unlink_segment",
+]

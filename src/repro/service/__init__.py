@@ -10,12 +10,18 @@ a concurrent query *server*:
   :class:`QueryTimeoutError`, :class:`ServiceClosedError`).
 * :mod:`repro.service.trace` -- :class:`RequestTrace`, the per-request
   record (queue/execute timestamps, congestion seen at admission, cache
-  counter deltas) every admitted request carries.
+  counter deltas, attempts/faults/plane) every admitted request carries.
+
+Failure handling (the degradation ladder) is configured through
+:class:`~repro.faults.ResiliencePolicy` (re-exported here): transient
+failures retry with backoff through re-admission, and repeated shard-plane
+failures trip a breaker that routes to ``shards=1`` until a probe heals.
 
 The workload driver in :mod:`repro.workload` replays mixed query traffic
 against this layer and reports tail latencies.
 """
 
+from repro.faults import ResiliencePolicy
 from repro.service.service import (
     OVERLOAD_POLICIES,
     IngestResult,
@@ -36,6 +42,7 @@ __all__ = [
     "QueryService",
     "QueryTimeoutError",
     "RequestTrace",
+    "ResiliencePolicy",
     "ServiceClosedError",
     "ServiceError",
     "ServiceResult",

@@ -17,9 +17,26 @@ others.  Per-request timeouts cover the whole queued+running lifetime, and
 :meth:`QueryService.close` drains gracefully: no new admissions, every
 admitted request finishes.
 
+Failure is the other first-class state (the degradation ladder, governed by
+the session's :class:`~repro.faults.ResiliencePolicy`):
+
+* **Retry rung** -- a transient execution failure puts the request into
+  ``backoff`` (exponential delay, deterministic per-request jitter) and
+  then *re-admits* it: the retry passes the same overload gate as a fresh
+  submission, so retries pay for their own queueing instead of jumping the
+  line.  The request's one timeout spans all attempts.
+* **Breaker rung** -- ``breaker_threshold`` consecutive shard-plane
+  failures (monolithic fallbacks or pool rebuilds observed in the counter
+  delta) trip a breaker that routes queries to ``shards=1``; every
+  ``breaker_probe_every``-th dispatch while open probes the shard plane at
+  full width, and a clean probe closes it.
+
+Every trace records ``attempts``, the ``faults`` absorbed, and the
+``plane`` that finally answered.
+
 All service state mutates on the event-loop thread only (``submit``,
-dispatch, completion callbacks, timeouts); worker threads touch nothing but
-the session, so the service itself needs no locks.
+dispatch, completion callbacks, timeouts, retries); worker threads touch
+nothing but the session, so the service itself needs no locks.
 """
 
 from __future__ import annotations
@@ -28,12 +45,14 @@ import asyncio
 import itertools
 import time
 from collections import Counter, deque
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.api.builder import QueryBuilder
 from repro.api.resultset import ResultSet
 from repro.api.session import Session
+from repro.faults import SERVICE_EXECUTE, ResiliencePolicy
 from repro.service.trace import RequestTrace
 from repro.ssb.queries import SSBQuery
 
@@ -137,6 +156,10 @@ class ServiceStats:
     inflight: int = 0
     peak_queue_depth: int = 0
     peak_inflight: int = 0
+    #: Transient failures absorbed by the retry rung (attempts beyond each
+    #: request's first), and times the shard breaker tripped open.
+    retries: int = 0
+    breaker_trips: int = 0
 
     @property
     def settled(self) -> int:
@@ -147,7 +170,7 @@ class ServiceStats:
         )
 
 
-@dataclass
+@dataclass(eq=False)  # identity semantics: requests live in the backoff set
 class _Request:
     """Internal per-request state: the spec, its future, and its trace.
 
@@ -164,6 +187,14 @@ class _Request:
     timeout_handle: Optional[asyncio.TimerHandle] = field(default=None, repr=False)
     kind: str = "query"
     payload: Optional[tuple] = field(default=None, repr=False)
+    #: Current execution attempt (1-based); mirrored onto the trace.
+    attempt: int = 1
+    #: The shard width this dispatch chose (None = service default off).
+    shards_used: Optional[int] = None
+    #: Whether this dispatch is a breaker probe at full shard width.
+    probe: bool = field(default=False, repr=False)
+    #: The pending backoff timer between attempts, if any.
+    retry_handle: Optional[asyncio.TimerHandle] = field(default=None, repr=False)
 
 
 class QueryService:
@@ -197,6 +228,7 @@ class QueryService:
         optimize: bool = False,
         trace_limit: int = 100_000,
         shards: Optional[int] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -221,16 +253,26 @@ class QueryService:
         #: never blocks -- admission, timeouts, and shedding stay live while
         #: worker processes chew on shards.
         self.shards = shards
+        #: The degradation ladder's knobs; defaults to the session's policy
+        #: so one ``Session(resilience=...)`` configures every layer.
+        self.resilience = resilience if resilience is not None else session.resilience
         self.traces: deque = deque(maxlen=trace_limit)
         self._queue: deque = deque()
         self._inflight = 0
         self._closing = False
         self._idle_waiters: list = []
         self._ids = itertools.count(1)
+        #: Requests sleeping between attempts (their backoff timers are
+        #: cancelled by a non-drain close; drain waits for them).
+        self._backoff: set = set()
+        self._breaker_open = False
+        self._breaker_failures = 0
+        self._breaker_dispatches = 0
         self._stats = {
             "submitted": 0, "completed": 0, "rejected": 0, "shed": 0,
             "timed_out": 0, "failed": 0, "cancelled": 0,
             "peak_queue_depth": 0, "peak_inflight": 0,
+            "retries": 0, "breaker_trips": 0,
         }
         # Fail fast on a bad default engine, and pre-instantiate it so
         # worker threads only ever *read* the session's engine map.
@@ -397,12 +439,30 @@ class QueryService:
             request = self._queue.popleft()
             request.trace.status = "running"
             request.trace.dequeued_at = time.perf_counter()
+            request.shards_used, request.probe = self._route(request)
             self._inflight += 1
             self._stats["peak_inflight"] = max(self._stats["peak_inflight"], self._inflight)
             pool_future = loop.run_in_executor(self.session.executor, self._execute, request)
             pool_future.add_done_callback(
                 lambda done, request=request: self._finish(request, done)
             )
+
+    def _route(self, request: _Request) -> "tuple[Optional[int], bool]":
+        """The breaker's routing decision: ``(shard width, is_probe)``.
+
+        With the breaker open, queries run at ``shards=1`` (the degraded
+        plane shares the monolithic cache key, so answers stay warm), and
+        every ``breaker_probe_every``-th dispatch goes out at full width
+        to test whether the shard plane has healed.
+        """
+        if request.kind != "query" or self.shards is None or self.shards <= 1:
+            return self.shards, False
+        if not self._breaker_open:
+            return self.shards, False
+        self._breaker_dispatches += 1
+        if self._breaker_dispatches % self.resilience.breaker_probe_every == 0:
+            return self.shards, True
+        return 1, False
 
     def _execute(self, request: _Request):
         """Worker-thread body: run the request, bracketed by counter snapshots.
@@ -412,34 +472,62 @@ class QueryService:
         execution snapshots each table once, so a concurrent append can
         only ever substitute a *fresher fully-sealed* version, never a torn
         one), ingests read them after their batch publishes.
+
+        Queries carry the :data:`~repro.faults.SERVICE_EXECUTE` injection
+        site here, upstream of the session run -- the exact spot the retry
+        rung recovers from.  Ingests deliberately do not: an append is not
+        idempotent, so the service never retries one and never injects
+        ahead of one.
         """
         before = self.session.counters()
         if request.kind == "ingest":
             table, arrays, _rows = request.payload
             version = self.session.ingest(table, arrays)
             return version, self.session.counters() - before, self.session.table_versions()
+        plan = self.session.faults
+        if plan is not None:
+            plan.fire(SERVICE_EXECUTE)
         versions = self.session.table_versions()
-        result = self.session.run(request.query, engine=request.engine, shards=self.shards)
+        result = self.session.run(
+            request.query, engine=request.engine, shards=request.shards_used
+        )
         return result, self.session.counters() - before, versions
 
     def _finish(self, request: _Request, done: asyncio.Future) -> None:
-        """Loop-thread completion: settle the future, keep the pump going."""
+        """Loop-thread completion: settle, retry, or fall down the ladder."""
         self._inflight -= 1
         trace = request.trace
-        trace.finished_at = time.perf_counter()
-        if request.timeout_handle is not None:
-            request.timeout_handle.cancel()
         try:
             result, delta, versions = done.result()
         except Exception as exc:
+            trace.faults.append(f"attempt {request.attempt}: {type(exc).__name__}: {exc}")
+            if isinstance(exc, BrokenExecutor):
+                # Only unambiguously shard-shaped escapes feed the breaker:
+                # a bad-column TypeError says nothing about the shard plane.
+                self._note_shard_health(request, failed=True)
+            if self._should_retry(request, exc):
+                self._schedule_retry(request)
+                self._dispatch(asyncio.get_running_loop())
+                return
+            trace.finished_at = time.perf_counter()
+            if request.timeout_handle is not None:
+                request.timeout_handle.cancel()
             if not request.future.done():  # not already timed out
                 trace.status = "error"
                 trace.error = f"{type(exc).__name__}: {exc}"
                 self._stats["failed"] += 1
                 request.future.set_exception(exc)
         else:
+            trace.finished_at = time.perf_counter()
+            if request.timeout_handle is not None:
+                request.timeout_handle.cancel()
             trace.counters = delta
             trace.table_versions = dict(versions)
+            if request.kind == "query":
+                trace.plane = self._plane_of(request, delta)
+                self._note_shard_health(
+                    request, failed=delta.failure_fallbacks > 0 or delta.pool_rebuilds > 0
+                )
             if not request.future.done():
                 trace.status = "ok"
                 self._stats["completed"] += 1
@@ -454,6 +542,100 @@ class QueryService:
         self.traces.append(trace)
         self._dispatch(asyncio.get_running_loop())
         self._notify_idle()
+
+    # ------------------------------------------------------------------
+    # The degradation ladder (loop-thread only, like all service state)
+    # ------------------------------------------------------------------
+    def _plane_of(self, request: _Request, delta) -> str:
+        """Which execution plane answered, read off the counter delta."""
+        if delta.failure_fallbacks > 0:
+            return "monolithic-fallback"
+        if delta.shard_queries > 0:
+            return "sharded"
+        if (
+            self.shards is not None
+            and self.shards > 1
+            and request.shards_used is not None
+            and request.shards_used <= 1
+        ):
+            return "monolithic-breaker"
+        return "monolithic"
+
+    def _note_shard_health(self, request: _Request, *, failed: bool) -> None:
+        """Feed one full-width shard outcome into the breaker."""
+        if request.kind != "query" or self.shards is None or self.shards <= 1:
+            return
+        if request.shards_used != self.shards:
+            return  # degraded dispatch: says nothing about the shard plane
+        if failed:
+            self._breaker_failures += 1
+            if not self._breaker_open and self._breaker_failures >= self.resilience.breaker_threshold:
+                self._breaker_open = True
+                self._breaker_dispatches = 0
+                self._stats["breaker_trips"] += 1
+        else:
+            self._breaker_failures = 0
+            self._breaker_open = False
+
+    @property
+    def breaker_open(self) -> bool:
+        """Whether the shard breaker is currently routing to ``shards=1``."""
+        return self._breaker_open
+
+    def _should_retry(self, request: _Request, exc: Exception) -> bool:
+        """Whether the retry rung absorbs this failure."""
+        return (
+            request.kind == "query"
+            and not request.future.done()  # a timed-out request stays failed
+            and request.attempt < self.resilience.max_attempts
+            and self.resilience.is_transient(exc)
+        )
+
+    def _schedule_retry(self, request: _Request) -> None:
+        """Put the request into backoff; it re-enters admission on wake."""
+        delay = self.resilience.backoff_s(request.trace.request_id, request.attempt)
+        request.attempt += 1
+        request.trace.attempts = request.attempt
+        request.trace.status = "backoff"
+        self._stats["retries"] += 1
+        self._backoff.add(request)
+        request.retry_handle = asyncio.get_running_loop().call_later(
+            delay, self._readmit, request
+        )
+
+    def _readmit(self, request: _Request) -> None:
+        """Backoff elapsed: pass the overload gate again and re-queue.
+
+        The retry is deliberately *not* front-of-line: it pays the same
+        admission toll as a fresh submission (reject settles it with
+        :class:`OverloadError`; shed policy evicts a victim to seat it),
+        so a failing workload cannot crowd out healthy traffic by
+        retrying.
+        """
+        self._backoff.discard(request)
+        request.retry_handle = None
+        trace = request.trace
+        if request.future.done():
+            # Timed out (or cancelled) while backing off; _expire's running
+            # branch left the trace un-appended for us to finalize.
+            if trace.finished_at is None:
+                trace.finished_at = time.perf_counter()
+            self.traces.append(trace)
+            self._notify_idle()
+            return
+        if self._inflight >= self.max_inflight and len(self._queue) >= self.max_queue_depth:
+            try:
+                self._overloaded(trace)
+            except OverloadError as exc:
+                if request.timeout_handle is not None:
+                    request.timeout_handle.cancel()
+                request.future.set_exception(exc)
+                self._notify_idle()
+                return
+        trace.status = "queued"
+        self._queue.append(request)
+        self._stats["peak_queue_depth"] = max(self._stats["peak_queue_depth"], len(self._queue))
+        self._dispatch(asyncio.get_running_loop())
 
     def _expire(self, request: _Request, timeout_s: float) -> None:
         """Timeout fired for a still-unsettled request."""
@@ -477,7 +659,7 @@ class QueryService:
 
     # ------------------------------------------------------------------
     def _idle(self) -> bool:
-        return not self._queue and self._inflight == 0
+        return not self._queue and self._inflight == 0 and not self._backoff
 
     def _notify_idle(self) -> None:
         if not self._idle():
@@ -498,26 +680,36 @@ class QueryService:
     async def close(self, *, drain: bool = True) -> None:
         """Stop admissions; drain outstanding work (or cancel the queue).
 
-        ``drain=True`` (graceful, the default) lets every queued and
-        inflight request finish.  ``drain=False`` cancels queued requests
-        with :class:`ServiceClosedError` and waits only for the inflight
-        ones (a running query cannot be interrupted).
+        ``drain=True`` (graceful, the default) lets every queued, inflight,
+        and backing-off request finish.  ``drain=False`` cancels queued
+        requests *and* pending retries with :class:`ServiceClosedError` and
+        waits only for the inflight ones (a running query cannot be
+        interrupted).
         """
         self._closing = True
         if not drain:
             while self._queue:
                 request = self._queue.popleft()
-                if request.timeout_handle is not None:
-                    request.timeout_handle.cancel()
-                request.trace.status = "cancelled"
-                request.trace.finished_at = time.perf_counter()
-                self._stats["cancelled"] += 1
-                self.traces.append(request.trace)
-                if not request.future.done():
-                    request.future.set_exception(
-                        ServiceClosedError("QueryService shut down before execution")
-                    )
+                self._cancel(request)
+            for request in sorted(self._backoff, key=lambda r: r.trace.request_id):
+                if request.retry_handle is not None:
+                    request.retry_handle.cancel()
+                self._cancel(request)
+            self._backoff.clear()
         await self.drain()
+
+    def _cancel(self, request: _Request) -> None:
+        """Settle one not-yet-running request as cancelled (non-drain close)."""
+        if request.timeout_handle is not None:
+            request.timeout_handle.cancel()
+        request.trace.status = "cancelled"
+        request.trace.finished_at = time.perf_counter()
+        self._stats["cancelled"] += 1
+        self.traces.append(request.trace)
+        if not request.future.done():
+            request.future.set_exception(
+                ServiceClosedError("QueryService shut down before execution")
+            )
 
     async def __aenter__(self) -> "QueryService":
         return self

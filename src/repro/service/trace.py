@@ -20,8 +20,9 @@ from typing import Optional
 
 from repro.engine.cache import CounterSnapshot
 
-#: Terminal trace states.  ``queued`` and ``running`` are the two live
-#: states a trace passes through on the way to exactly one of these.
+#: Terminal trace states.  ``queued``, ``running``, and ``backoff`` (a
+#: retry waiting to re-enter admission) are the live states a trace passes
+#: through on the way to exactly one of these.
 TERMINAL_STATUSES = ("ok", "error", "timeout", "rejected", "shed", "cancelled")
 
 
@@ -57,6 +58,18 @@ class RequestTrace:
     #: may publish a *fresher fully-sealed* version mid-run, never a torn
     #: one); for an ingest, the versions after its batch published.
     table_versions: Optional[dict] = None
+    #: Execution attempts this request consumed (1 = no retries).  A trace
+    #: in ``backoff`` is between attempts, waiting to re-enter admission.
+    attempts: int = 1
+    #: The transient failures absorbed along the way, one human-readable
+    #: entry per failed attempt (``"attempt 1: TransientFaultError: ..."``).
+    faults: list = field(default_factory=list)
+    #: Which execution plane finally answered: ``"sharded"``,
+    #: ``"monolithic"`` (service configured shardless),
+    #: ``"monolithic-fallback"`` (the shard plane exhausted its retry
+    #: budget mid-query), or ``"monolithic-breaker"`` (the service's
+    #: breaker routed this request to ``shards=1`` up front).
+    plane: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property
@@ -109,6 +122,9 @@ class RequestTrace:
             "builds_shared": self.builds_shared,
             "rows_pruned": self.counters.rows_pruned if self.counters else 0,
             "table_versions": self.table_versions,
+            "attempts": self.attempts,
+            "faults": list(self.faults),
+            "plane": self.plane,
             "error": self.error,
         }
 

@@ -32,6 +32,16 @@ segment specs for every column and packed twin, plus the table's name,
 version, and dictionary encoders -- everything
 :meth:`repro.storage.table.Table.from_published` needs to reconstruct a
 frozen, version-pinned view on the worker side.
+
+Failure handling: segment names embed the owning pid
+(``repro-shm-<pid>-<token>-<n>``), and :func:`reap_stale_segments` -- the
+**shm janitor**, run by every new registry -- sweeps ``/dev/shm`` for
+segments whose owner pid no longer exists and unlinks them, so a
+``kill -9``'d owner leaks segments only until the next session starts
+instead of until reboot.  Both sides carry fault-injection points
+(:data:`~repro.faults.SHM_ATTACH` / :data:`~repro.faults.SHM_EXPORT`)
+that are single no-op ContextVar reads unless a
+:class:`~repro.faults.FaultPlan` is active.
 """
 
 from __future__ import annotations
@@ -42,10 +52,11 @@ import os
 import secrets
 import threading
 from dataclasses import dataclass, field
-from multiprocessing import shared_memory
+from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from repro.faults import SHM_ATTACH, SHM_EXPORT, active_fault_plan
 from repro.storage.column import Column
 from repro.storage.compression import BitPackedColumn
 from repro.storage.dictionary import DictionaryEncoder
@@ -54,6 +65,70 @@ from repro.storage.table import Table
 #: Prefix every registry-owned segment name starts with; the leak tests
 #: scan ``/dev/shm`` for it to prove nothing was stranded.
 SEGMENT_PREFIX = "repro-shm"
+
+#: Where POSIX shared memory surfaces as files (Linux).  The janitor is a
+#: no-op on platforms without it.
+SHM_DIR = "/dev/shm"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # pragma: no cover - e.g. EPERM: alive, not ours
+        return True
+    return True
+
+
+def _forget_tracked(name: str) -> None:
+    """Drop ``name`` from this process's resource tracker, best-effort.
+
+    ``SharedMemory.unlink`` unregisters only after a *successful*
+    ``shm_unlink``; when the name is already gone (an injected unlink
+    fault, or the janitor beat us to it) the registration would linger and
+    the tracker would warn of a leak at interpreter exit.  Unknown names
+    are a harmless no-op.
+    """
+    try:
+        resource_tracker.unregister("/" + name.lstrip("/"), "shared_memory")
+    except Exception:  # pragma: no cover - tracker already shut down
+        pass
+
+
+def reap_stale_segments(prefix: str = SEGMENT_PREFIX, shm_dir: str = SHM_DIR) -> list[str]:
+    """Unlink ``/dev/shm`` segments whose owning process is dead (the janitor).
+
+    Registry segment names embed the owner's pid
+    (``<prefix>-<pid>-<token>-<n>``); a segment whose pid no longer exists
+    can only be the debris of a crashed owner -- ``kill -9`` skips atexit
+    hooks, and POSIX shm persists until reboot otherwise.  Segments of
+    live pids (including this process) are never touched, so concurrent
+    sessions on one machine stay safe; a recycled pid at worst postpones
+    reclamation to a later sweep.  Returns the reclaimed segment names.
+    """
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+        return []
+    marker = f"{prefix}-"
+    own = os.getpid()
+    reclaimed: list[str] = []
+    for name in sorted(os.listdir(shm_dir)):
+        if not name.startswith(marker):
+            continue
+        pid_text = name[len(marker):].split("-", 1)[0]
+        if not pid_text.isdigit():
+            continue
+        pid = int(pid_text)
+        if pid == own or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, name))
+        except OSError:  # pragma: no cover - raced another janitor
+            continue
+        _forget_tracked(name)
+        reclaimed.append(name)
+    return reclaimed
 
 
 @dataclass(frozen=True)
@@ -85,15 +160,23 @@ class SharedMemoryRegistry:
     atexit hook so segments cannot outlive the interpreter even if the
     owner forgets to close -- the hook unregisters itself once ``close``
     has run, keeping the atexit table from growing across short-lived
-    registries (the session-churn leak test).
+    registries (the session-churn leak test).  Against the failure mode no
+    hook survives (``kill -9``), segment names embed the owning pid and
+    construction runs the :func:`reap_stale_segments` janitor, so each new
+    registry reclaims whatever a crashed predecessor stranded.
     """
 
-    def __init__(self, prefix: str | None = None) -> None:
+    def __init__(self, prefix: str | None = None, *, janitor: bool = True) -> None:
         self._prefix = prefix or f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
         self._segments: dict[str, shared_memory.SharedMemory] = {}
         self._counter = itertools.count()
         self._lock = threading.Lock()
         self._closed = False
+        if janitor:
+            try:
+                reap_stale_segments()
+            except OSError:  # pragma: no cover - unreadable shm dir
+                pass
         atexit.register(self.close)
 
     # ------------------------------------------------------------------
@@ -105,6 +188,9 @@ class SharedMemoryRegistry:
         worker (and every later query) reads those very pages.  Empty
         arrays get a 1-byte segment (POSIX shm refuses zero-size maps).
         """
+        plan = active_fault_plan()
+        if plan is not None:
+            plan.fire(SHM_EXPORT)
         array = np.ascontiguousarray(array)
         with self._lock:
             if self._closed:
@@ -135,11 +221,23 @@ class SharedMemoryRegistry:
         with self._lock:
             released = [self._segments.pop(name) for name in names if name in self._segments]
         for segment in released:
-            segment.close()
-            try:
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+            self._unlink(segment)
+
+    @staticmethod
+    def _unlink(segment: shared_memory.SharedMemory) -> None:
+        """Close + unlink one owned segment, tolerating it already being gone.
+
+        A name can vanish under the owner (an injected unlink fault, a
+        janitor in another process); the unlink is then a no-op, but the
+        resource tracker must still forget the registration or it warns of
+        a leak at interpreter exit.
+        """
+        name = segment.name
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            _forget_tracked(name)
 
     def close(self) -> None:
         """Close and unlink every owned segment (idempotent)."""
@@ -149,11 +247,7 @@ class SharedMemoryRegistry:
             self._closed = True
             segments, self._segments = self._segments, {}
         for segment in segments.values():
-            segment.close()
-            try:
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+            self._unlink(segment)
         atexit.unregister(self.close)
 
     def __enter__(self) -> "SharedMemoryRegistry":
@@ -184,6 +278,11 @@ def attach_array(
     so the attach's implicit re-register is a set no-op and unlink rights
     remain with the owning registry.
     """
+    plan = active_fault_plan()
+    if plan is not None:
+        # An ``unlink`` fault here tears the name down *before* the map, so
+        # the attach observes exactly what a crashed owner leaves behind.
+        plan.fire(SHM_ATTACH, segment=spec.segment)
     segment = segments.get(spec.segment)
     if segment is None:
         segment = shared_memory.SharedMemory(name=spec.segment)

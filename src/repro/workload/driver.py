@@ -238,6 +238,8 @@ class WorkloadDriver:
             "cancelled": stats.cancelled,
             "peak_queue_depth": stats.peak_queue_depth,
             "peak_inflight": stats.peak_inflight,
+            "retries": stats.retries,
+            "breaker_trips": stats.breaker_trips,
             "warmup_requests": warmup_requests,
         }
         result = RepetitionResult(
@@ -259,9 +261,11 @@ class WorkloadDriver:
         started = time.perf_counter()
         status = "ok"
         latency_ms: Optional[float] = None
+        attempts = 1
         try:
             submitted = await service.submit(qclass.query, class_tag=qclass.name)
             latency_ms = submitted.latency_ms
+            attempts = submitted.trace.attempts
         except OverloadError as exc:
             status = "shed" if exc.shed else "rejected"
         except QueryTimeoutError:
@@ -271,4 +275,4 @@ class WorkloadDriver:
             errors.append(f"{qclass.name}: {type(exc).__name__}: {exc}")
         if latency_ms is None:
             latency_ms = (time.perf_counter() - started) * 1e3
-        outcomes[qclass.name].append((status, latency_ms))
+        outcomes[qclass.name].append((status, latency_ms, attempts))

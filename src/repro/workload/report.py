@@ -40,6 +40,7 @@ RUN_TABLE_COLUMNS = (
     "shed",
     "timed_out",
     "failed",
+    "attempts",
     "throughput_rps",
     "mean_ms",
     "p50_ms",
@@ -78,7 +79,10 @@ class ClassStats:
     Percentiles cover *completed* requests only (a rejection answers in
     microseconds and would flatter the tail); the failure and rejection
     rates put the refused traffic back into view.  Percentile fields are
-    ``None`` when nothing completed.
+    ``None`` when nothing completed.  ``attempts`` counts execution
+    attempts including the service's transparent retries -- ``attempts >
+    requests`` is the tell that completed-looking traffic was absorbing
+    transient failures underneath.
     """
 
     class_tag: str
@@ -88,6 +92,7 @@ class ClassStats:
     shed: int
     timed_out: int
     failed: int
+    attempts: int
     throughput_rps: float
     mean_ms: Optional[float]
     p50_ms: Optional[float]
@@ -111,15 +116,22 @@ class ClassStats:
 
     @classmethod
     def from_outcomes(
-        cls, class_tag: str, outcomes: Iterable[tuple[str, float]], duration_s: float
+        cls, class_tag: str, outcomes: Iterable[tuple], duration_s: float
     ) -> "ClassStats":
-        """Fold ``(status, latency_ms)`` outcomes into one stats row."""
+        """Fold ``(status, latency_ms[, attempts])`` outcomes into one stats row.
+
+        The optional third element is the request's execution-attempt count
+        (the driver reads it off the trace); two-tuples count one attempt,
+        so pre-resilience outcome streams keep folding unchanged.
+        """
         counts = {"ok": 0, "rejected": 0, "shed": 0, "timeout": 0, "error": 0}
         latencies: list[float] = []
-        for status, latency_ms in outcomes:
+        attempts = 0
+        for status, latency_ms, *rest in outcomes:
             if status not in counts:
                 raise ValueError(f"unknown outcome status {status!r}")
             counts[status] += 1
+            attempts += rest[0] if rest else 1
             if status == "ok":
                 latencies.append(latency_ms)
         return cls(
@@ -130,6 +142,7 @@ class ClassStats:
             shed=counts["shed"],
             timed_out=counts["timeout"],
             failed=counts["error"],
+            attempts=attempts,
             throughput_rps=counts["ok"] / duration_s if duration_s > 0 else 0.0,
             mean_ms=sum(latencies) / len(latencies) if latencies else None,
             p50_ms=percentile(latencies, 50) if latencies else None,
@@ -189,6 +202,7 @@ def run_table_rows(spec, repetitions: Sequence[RepetitionResult], run: str) -> l
                 "shed": stats.shed,
                 "timed_out": stats.timed_out,
                 "failed": stats.failed,
+                "attempts": stats.attempts,
                 "throughput_rps": round(stats.throughput_rps, 3),
                 "mean_ms": _round(stats.mean_ms),
                 "p50_ms": _round(stats.p50_ms),
@@ -229,6 +243,7 @@ def summarize_repetitions(repetitions: Sequence[RepetitionResult]) -> dict:
             "shed": sum(row.shed for row in rows),
             "timed_out": sum(row.timed_out for row in rows),
             "failed": sum(row.failed for row in rows),
+            "attempts": sum(row.attempts for row in rows),
             "throughput_rps": _spread([row.throughput_rps for row in rows]),
             "failure_rate": _spread([row.failure_rate for row in rows]),
             "rejection_rate": _spread([row.rejection_rate for row in rows]),

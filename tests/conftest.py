@@ -2,12 +2,45 @@
 
 from __future__ import annotations
 
+import gc
+import os
+
 import numpy as np
 import pytest
 
 from repro.sim.cpu import CPUSimulator
 from repro.sim.gpu import GPUSimulator
 from repro.ssb.generator import generate_ssb
+
+#: Where POSIX shared memory lives; prefixes that can only be ours.
+SHM_DIR = "/dev/shm"
+SHM_LEAK_PREFIXES = ("psm_", "repro")
+
+
+def shm_segment_names() -> set:
+    """The current ``/dev/shm`` entries that look like ours."""
+    try:
+        names = os.listdir(SHM_DIR)
+    except OSError:  # platform without /dev/shm: nothing to guard
+        return set()
+    return {name for name in names if name.startswith(SHM_LEAK_PREFIXES)}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shm_leak_guard():
+    """Fail the run if any test leaked a shared-memory segment.
+
+    One snapshot of ``/dev/shm`` brackets the whole session -- including
+    the chaos suite, which kills workers and unlinks segments mid-query --
+    so every test gets leak coverage without per-test baseline loops.
+    Segments that predate the run (another process, a crashed earlier run
+    the janitor has not seen yet) are excluded from blame.
+    """
+    before = shm_segment_names()
+    yield
+    gc.collect()  # drop any lingering SharedMemory handles before looking
+    leaked = shm_segment_names() - before
+    assert not leaked, f"tests leaked shared-memory segments: {sorted(leaked)}"
 
 
 @pytest.fixture(scope="session")

@@ -326,3 +326,85 @@ class TestTraces:
         first, again = run(go())
         assert not first.execution_cached  # cold: this request executed
         assert again.execution_cached  # warm: answered from the memo
+
+
+class SlowIngestSession(Session):
+    """A session whose appends stall mid-flight (queries run at full speed).
+
+    Real appends publish in microseconds -- far too fast to catch a timeout
+    firing *while* the append runs; the sleep holds the ingest on its
+    worker so the mid-append expiry path triggers on command.
+    """
+
+    def __init__(self, db, delay_s: float, **kwargs) -> None:
+        super().__init__(db, **kwargs)
+        self.delay_s = delay_s
+
+    def ingest(self, table, arrays):
+        time.sleep(self.delay_s)
+        return super().ingest(table, arrays)
+
+
+class TestIngestTimeouts:
+    """Timeouts during ingest: queued expiry vs. mid-append expiry.
+
+    Ingest mutates the database, so each test builds its own small SSB
+    instance instead of borrowing the shared fixtures.
+    """
+
+    def test_queued_ingest_expires_without_touching_the_table(self):
+        from repro.ssb import generate_lineorder_batch, generate_ssb
+
+        db = generate_ssb(scale_factor=0.005, seed=21)
+        session = SlowSession(db, delay_s=0.3)  # a query pins the one worker
+        batch = generate_lineorder_batch(db, 16, seed=3)
+
+        async def go():
+            async with QueryService(session, max_inflight=1) as service:
+                running = asyncio.create_task(service.submit(QUERIES["q1.1"], timeout=None))
+                await asyncio.sleep(0.05)
+                with pytest.raises(QueryTimeoutError) as excinfo:
+                    await service.ingest("lineorder", batch, timeout=0.05)
+                await running
+                return excinfo.value, service.stats
+
+        try:
+            error, stats = run(go())
+            assert error.where == "queued"
+            # The expired append never reached a worker: no version flip,
+            # no rows, and the table is bit-for-bit what it was.
+            assert db.table("lineorder").version == 0
+            assert stats.timed_out == 1 and stats.completed == 1
+        finally:
+            session.close()
+
+    def test_mid_append_timeout_discards_result_but_publishes(self):
+        from repro.ssb import generate_lineorder_batch, generate_ssb
+
+        db = generate_ssb(scale_factor=0.005, seed=22)
+        session = SlowIngestSession(db, delay_s=0.3)
+        batch = generate_lineorder_batch(db, 16, seed=4)
+        rows_before = db.table("lineorder").num_rows
+
+        async def go():
+            async with QueryService(session, max_inflight=1) as service:
+                with pytest.raises(QueryTimeoutError) as excinfo:
+                    await service.ingest("lineorder", batch, timeout=0.05)
+                # __aexit__ drains: the worker finishes the append after
+                # the caller has already been told "timeout".
+                return excinfo.value, service
+
+        try:
+            error, service = run(go())
+            assert error.where == "running"
+            # Pinned semantic: a mid-append timeout is *not* a rollback.
+            # The append cannot be interrupted once on a worker -- the
+            # version advances and the rows are in; only the caller's
+            # result (the IngestResult) is discarded.
+            assert db.table("lineorder").version == 1
+            assert db.table("lineorder").num_rows == rows_before + 16
+            stats = service.stats
+            assert stats.timed_out == 1 and stats.completed == 0
+            assert service.traces[-1].status == "timeout"
+        finally:
+            session.close()

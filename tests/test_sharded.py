@@ -13,7 +13,8 @@ Beyond the differential guarantee:
   adversarial shard splits (empty shards, single-row shards, groups that
   appear in only one shard) without paying for a process pool;
 * leak-safety tests create and destroy sharded sessions in a loop and
-  assert ``/dev/shm`` comes back clean;
+  assert every segment is released at close time (end-of-run ``/dev/shm``
+  hygiene is the session-scoped ``shm_leak_guard`` fixture's job);
 * cache-keying tests pin the regression that ``shards=1`` and the
   morsel-threaded path share execution-cache entries while ``shards=N``
   keys separately (its pool dispatch is real work the memo must not elide
@@ -285,14 +286,28 @@ class TestCacheKeying:
 
 
 class TestLeakSafety:
+    """Eager-release behaviours the registry must localize per close.
+
+    End-of-run ``/dev/shm`` hygiene is enforced globally by the
+    session-scoped ``shm_leak_guard`` fixture in ``conftest.py`` (which
+    also covers the chaos suite's worker kills and segment unlinks), so
+    these tests no longer keep their own before/after baselines -- they
+    pin that segments are released *at close time*, not merely by the end
+    of the run.
+    """
+
     @pytest.mark.parametrize("method", START_METHODS)
-    def test_session_churn_leaves_dev_shm_clean(self, tiny_ssb, method):
-        baseline = set(_shm_segments())
+    def test_session_churn_releases_segments_at_close(self, tiny_ssb, method):
         for _ in range(3):
             with Session(tiny_ssb, shards=2, shard_start_method=method) as session:
                 session.run(QUERIES["q1.2"], cache=False)
-                assert len(_shm_segments()) > len(baseline)  # segments live
-        assert set(_shm_segments()) == baseline
+                executor = session.shard_executor()
+                prefix = executor.registry._prefix
+                assert executor.registry.num_segments > 0  # segments live
+                assert any(prefix in path for path in _shm_segments())
+            assert executor.registry.closed
+            assert executor.registry.num_segments == 0
+            assert not any(prefix in path for path in _shm_segments())
 
     def test_close_is_idempotent_and_unlinks(self, tiny_ssb):
         session = Session(tiny_ssb, shards=2)
