@@ -1,0 +1,206 @@
+"""Prices durability: per-fsync-mode append overhead and recovery time.
+
+Two questions a serving operator asks before turning the WAL on:
+
+1. **What does each fsync policy cost per append?**  The same stream of
+   deterministic lineorder micro-batches is ingested under no durability,
+   ``off``, ``batch``, and ``always``; the report records ms/append for
+   each, so the overhead column is a straight subtraction against the
+   in-memory baseline.
+2. **How long does recovery take, and how does a checkpoint bend the
+   curve?**  Recovery time is measured against growing WAL lengths
+   (replay scales with the tail), then once more with a checkpoint in
+   front of the same number of appends (replay collapses to the
+   post-checkpoint records).
+
+Parity gate before any timing is trusted: the recovered database must be
+byte-identical to the live one -- every column array, dtype, dictionary,
+and all 13 SSB answers -- under each fsync mode.  A run where recovery
+drifted fails loudly instead of reporting a fast number.
+
+Writes ``BENCH_durability.json`` (atomic replace), uploaded by the CI
+``durability`` job.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from bench_util import bench_arg_parser, write_json_atomic  # noqa: E402
+
+from repro.api import Session  # noqa: E402
+from repro.ssb import QUERIES, QUERY_ORDER, generate_lineorder_batch, generate_ssb  # noqa: E402
+from repro.storage import DurabilityConfig  # noqa: E402
+
+#: Appends per timed stream (and the recovery curve's x-axis points).
+APPENDS = 16
+BATCH_ROWS = 512
+RECOVERY_POINTS = (4, 8, 16)
+
+
+def fresh_db(scale_factor: float, seed: int):
+    return generate_ssb(scale_factor=scale_factor, seed=seed)
+
+
+def ingest_stream(session, db, count: int, seed: int) -> None:
+    for i in range(count):
+        session.ingest("lineorder", generate_lineorder_batch(db, BATCH_ROWS, seed=seed + i))
+
+
+def assert_parity(db_a, db_b, context: str) -> None:
+    """Byte-identical tables + 13 matching answers, or die."""
+    for name, table in db_a.tables.items():
+        other = db_b.table(name)
+        assert table.version == other.version, (context, name, "version")
+        for cname, column in table.columns.items():
+            assert column.values.dtype == other.columns[cname].values.dtype, (context, name, cname)
+            assert column.values.tobytes() == other.columns[cname].values.tobytes(), (
+                context,
+                name,
+                cname,
+            )
+        for cname, encoder in table.dictionaries.items():
+            assert list(encoder.values) == list(other.dictionaries[cname].values), (
+                context,
+                name,
+                cname,
+            )
+    session_a, session_b = Session(db_a), Session(db_b)
+    for name in QUERY_ORDER:
+        assert session_a.run(QUERIES[name]).value == session_b.run(QUERIES[name]).value, (
+            context,
+            name,
+        )
+    session_a.close()
+    session_b.close()
+
+
+def time_append_stream(scale_factor: float, seed: int, fsync: "str | None", workdir: str) -> dict:
+    """One ingest stream under one durability mode; returns its timing row."""
+    db = fresh_db(scale_factor, seed)
+    if fsync is None:
+        session = Session(db)
+        mode = "none"
+    else:
+        mode = fsync
+        session = Session(
+            db, durability=DurabilityConfig(dir=os.path.join(workdir, f"dur-{fsync}"), fsync=fsync)
+        )
+    start = time.perf_counter()
+    ingest_stream(session, db, APPENDS, seed=1000)
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    stats = session.durability.stats() if session.durability else None
+    session.close()
+    row = {
+        "mode": mode,
+        "appends": APPENDS,
+        "batch_rows": BATCH_ROWS,
+        "total_ms": elapsed_ms,
+        "ms_per_append": elapsed_ms / APPENDS,
+        "fsyncs": stats.fsyncs if stats else 0,
+        "wal_bytes": stats.wal_bytes if stats else 0,
+    }
+    if fsync is not None:
+        # Parity gate: recover into a fresh base and diff before the
+        # timing row is allowed into the report.
+        recovered = fresh_db(scale_factor, seed)
+        recovery = Session.open(
+            recovered, durability=DurabilityConfig(dir=os.path.join(workdir, f"dur-{fsync}"))
+        )
+        assert_parity(db, recovered, context=f"fsync={fsync}")
+        recovery.close()
+    return row
+
+
+def time_recovery(scale_factor: float, seed: int, workdir: str) -> list:
+    """Recovery wall-clock vs WAL length, with and without a checkpoint."""
+    rows = []
+    for appends in RECOVERY_POINTS:
+        for checkpointed in (False, True):
+            dur_dir = os.path.join(workdir, f"rec-{appends}-{int(checkpointed)}")
+            db = fresh_db(scale_factor, seed)
+            session = Session(db, durability=DurabilityConfig(dir=dur_dir, fsync="off"))
+            ingest_stream(session, db, appends, seed=2000)
+            if checkpointed:
+                session.checkpoint()
+                # Two post-checkpoint appends keep the replay tail honest.
+                ingest_stream(session, db, 2, seed=2000 + appends)
+            session.close()
+            wal_bytes = os.path.getsize(os.path.join(dur_dir, "wal.log"))
+
+            recovered = fresh_db(scale_factor, seed)
+            start = time.perf_counter()
+            recovery = Session.open(recovered, durability=DurabilityConfig(dir=dur_dir))
+            recovery_ms = (time.perf_counter() - start) * 1e3
+            report = recovery.recovery
+            assert_parity(db, recovered, context=f"recovery appends={appends} ckpt={checkpointed}")
+            recovery.close()
+            rows.append(
+                {
+                    "appends": appends + (2 if checkpointed else 0),
+                    "checkpointed": checkpointed,
+                    "wal_bytes": wal_bytes,
+                    "replayed_records": report.replayed_records,
+                    "recovery_ms": recovery_ms,
+                }
+            )
+    return rows
+
+
+def main() -> int:
+    parser = bench_arg_parser(
+        "Durability bench: per-fsync-mode append overhead + recovery time",
+        output="BENCH_durability.json",
+        scale_factor=0.01,
+        repeats=None,
+    )
+    args = parser.parse_args()
+    workdir = tempfile.mkdtemp(prefix="bench-durability-")
+    try:
+        modes = [None, "off", "batch", "always"]
+        append_rows = [
+            time_append_stream(args.scale_factor, args.seed, mode, workdir) for mode in modes
+        ]
+        baseline = append_rows[0]["ms_per_append"]
+        for row in append_rows:
+            row["overhead_ms_per_append"] = row["ms_per_append"] - baseline
+        recovery_rows = time_recovery(args.scale_factor, args.seed, workdir)
+
+        payload = {
+            "bench": "durability",
+            "scale_factor": args.scale_factor,
+            "seed": args.seed,
+            "appends": APPENDS,
+            "batch_rows": BATCH_ROWS,
+            "parity": "byte-identical tables + 13 SSB answers verified before timing",
+            "append_overhead": append_rows,
+            "recovery": recovery_rows,
+        }
+        write_json_atomic(args.output, payload)
+        print(f"wrote {args.output}")
+        print(f"{'mode':<8} {'ms/append':>10} {'overhead':>10} {'fsyncs':>7}")
+        for row in append_rows:
+            print(
+                f"{row['mode']:<8} {row['ms_per_append']:>10.3f} "
+                f"{row['overhead_ms_per_append']:>10.3f} {row['fsyncs']:>7}"
+            )
+        print(f"{'appends':<8} {'ckpt':>5} {'replayed':>9} {'recovery_ms':>12}")
+        for row in recovery_rows:
+            print(
+                f"{row['appends']:<8} {str(row['checkpointed']):>5} "
+                f"{row['replayed_records']:>9} {row['recovery_ms']:>12.2f}"
+            )
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

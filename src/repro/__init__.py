@@ -25,6 +25,10 @@ Analytics*:
 * :mod:`repro.faults` -- deterministic fault injection (:class:`FaultPlan`)
   and the :class:`ResiliencePolicy` knobs of the degradation ladder the
   shard, storage, and service layers climb down under failure.
+* :mod:`repro.storage.wal` -- crash-consistent durability: a checksummed
+  write-ahead log and checkpoints behind
+  ``Session(durability=DurabilityConfig(dir=...))``, with byte-identical
+  recovery via ``Session.open``.
 
 Quickstart::
 
@@ -48,7 +52,7 @@ Quickstart::
     print(session.compare(orders, engines=["cpu", "gpu", "coprocessor"]))
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.api import (
     FaultPlan,
@@ -87,6 +91,7 @@ from repro.service import (
     ServiceResult,
 )
 from repro.ssb import QUERIES, And, FilterSpec, Not, Or, Pred, SSBQuery, generate_ssb
+from repro.storage import DurabilityConfig, DurabilityManager, RecoveryReport
 from repro.workload import QueryClass, WorkloadDriver, WorkloadReport, WorkloadSpec
 
 __all__ = [
@@ -94,6 +99,8 @@ __all__ = [
     "BuildArtifactCache",
     "CPUStandaloneEngine",
     "CoprocessorEngine",
+    "DurabilityConfig",
+    "DurabilityManager",
     "FaultPlan",
     "FaultPoint",
     "FilterSpec",
@@ -118,6 +125,7 @@ __all__ = [
     "QueryService",
     "QueryTimeoutError",
     "QueryValidationError",
+    "RecoveryReport",
     "RequestTrace",
     "ResiliencePolicy",
     "ResultSet",

@@ -71,6 +71,7 @@ from repro.engine.planner import JoinOrderPlanner
 from repro.faults import FaultPlan, ResiliencePolicy, activate_faults
 from repro.ssb.queries import SSBQuery
 from repro.storage import Database
+from repro.storage.wal import DurabilityConfig, DurabilityManager, RecoveryReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (ingest imports api)
     import numpy as np
@@ -205,6 +206,7 @@ class Session:
         shard_start_method: str | None = None,
         resilience: ResiliencePolicy | None = None,
         faults: FaultPlan | None = None,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         if shards is not None and shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -244,6 +246,53 @@ class Session:
         self._executor_lock = threading.Lock()
         self._standing: "dict[str, StandingQuery]" = {}
         self._standing_lock = threading.Lock()
+        # Crash-consistent durability (``durability=DurabilityConfig(...)``):
+        # the manager opens (and validates) the WAL, recovers any durable
+        # state already in the directory -- a fresh directory recovers to a
+        # trivial no-op, so construction doubles as ``Session.open`` -- and
+        # then hooks every table so appends log-then-publish.
+        self._durability: DurabilityManager | None = None
+        if durability is not None:
+            self._durability = DurabilityManager(db, durability, faults=self.faults)
+            self._durability.recover()
+            self._durability.attach()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, db: Database, *, durability: DurabilityConfig, **kwargs) -> "Session":
+        """Open a session over ``db`` with durable state recovered.
+
+        The documented recovery entry point: loads the newest valid
+        checkpoint from ``durability.dir``, replays the WAL tail in version
+        order (truncating a torn tail cleanly), and returns a session whose
+        version frontier is byte-identical to the last durable state --
+        then keeps logging, so the next crash recovers too.  Equivalent to
+        ``Session(db, durability=durability, ...)``; this name exists so
+        call sites read as what they do.
+        """
+        return cls(db, durability=durability, **kwargs)
+
+    @property
+    def durability(self) -> DurabilityManager | None:
+        """The durability manager, or ``None`` for an in-memory session."""
+        return self._durability
+
+    @property
+    def recovery(self) -> "RecoveryReport | None":
+        """What the most recent :meth:`recover` pass found (None if never)."""
+        return self._durability.last_recovery if self._durability else None
+
+    def recover(self) -> "RecoveryReport":
+        """Re-run recovery from the durability directory (idempotent)."""
+        if self._durability is None:
+            raise ValueError("session has no durability configured; pass durability=DurabilityConfig(...)")
+        return self._durability.recover()
+
+    def checkpoint(self) -> str:
+        """Force a checkpoint now; returns the new snapshot's path."""
+        if self._durability is None:
+            raise ValueError("session has no durability configured; pass durability=DurabilityConfig(...)")
+        return self._durability.checkpoint()
 
     # ------------------------------------------------------------------
     @property
@@ -368,6 +417,10 @@ class Session:
             shards, self._shards = self._shards, None
         if shards is not None:
             shards.close()
+        if self._durability is not None:
+            # Final fsync + detach the table hooks; the directory itself
+            # stays behind, ready for the next Session.open.
+            self._durability.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -427,6 +480,11 @@ class Session:
         version = self.db.table(table).append(arrays)
         for standing in self.standing_queries().values():
             standing.refresh()
+        if self._durability is not None:
+            # The append itself is already durable (the WAL record was
+            # fsynced before the version flip); this only asks whether the
+            # log has grown enough to be folded into a checkpoint.
+            self._durability.maybe_checkpoint()
         return version
 
     def register_standing(

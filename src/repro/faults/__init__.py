@@ -8,12 +8,15 @@ ladder.
 """
 
 from repro.faults.plan import (
+    CHECKPOINT_WRITE,
     FAULT_MODES,
     KILL_EXIT_CODE,
     SERVICE_EXECUTE,
     SHARD_TASK,
     SHM_ATTACH,
     SHM_EXPORT,
+    WAL_APPEND,
+    WAL_FSYNC,
     FaultAction,
     FaultError,
     FaultPlan,
@@ -27,12 +30,15 @@ from repro.faults.plan import (
 from repro.faults.policy import ResiliencePolicy
 
 __all__ = [
+    "CHECKPOINT_WRITE",
     "FAULT_MODES",
     "KILL_EXIT_CODE",
     "SERVICE_EXECUTE",
     "SHARD_TASK",
     "SHM_ATTACH",
     "SHM_EXPORT",
+    "WAL_APPEND",
+    "WAL_FSYNC",
     "FaultAction",
     "FaultError",
     "FaultPlan",

@@ -34,6 +34,13 @@ Four modes:
     Raise :class:`TransientFaultError`, the retryable failure class.
 ``latency``
     Sleep ``delay_s`` -- for exercising timeouts and backoff.
+``torn``
+    A crash mid-write: file-aware sites (the write-ahead log, the
+    checkpoint writer in :mod:`repro.storage.wal` /
+    :mod:`repro.storage.checkpoint`) write a *prefix* of the in-flight
+    record to disk and then ``os._exit`` -- producing exactly the torn
+    tail a power cut leaves behind, which recovery must detect and
+    truncate.  Sites with no file in hand degrade to a plain ``kill``.
 
 Activation follows the cache idiom (:mod:`repro.engine.cache`): a
 ``ContextVar`` scope installed by :func:`activate_faults`, read by
@@ -53,7 +60,7 @@ from contextvars import ContextVar
 from dataclasses import dataclass
 
 #: The fault modes a :class:`FaultPoint` may request.
-FAULT_MODES = ("kill", "raise", "latency", "unlink")
+FAULT_MODES = ("kill", "raise", "latency", "unlink", "torn")
 
 #: Exit code a ``kill`` fault terminates the process with -- distinctive in
 #: worker-death postmortems (``BrokenProcessPool`` hides the code itself).
@@ -65,6 +72,9 @@ SHARD_TASK = "shard.task"
 SHM_ATTACH = "shm.attach"
 SHM_EXPORT = "shm.export"
 SERVICE_EXECUTE = "service.execute"
+WAL_APPEND = "wal.append"
+WAL_FSYNC = "wal.fsync"
+CHECKPOINT_WRITE = "checkpoint.write"
 
 
 class FaultError(RuntimeError):
@@ -222,6 +232,11 @@ def execute_fault(action: FaultAction, *, segment: "str | None" = None) -> None:
             f"injected transient fault at {action.site} (pid {os.getpid()})"
         )
     if action.mode == "kill":
+        os._exit(KILL_EXIT_CODE)
+    if action.mode == "torn":
+        # File-aware sites intercept ``torn`` themselves (partial write,
+        # then exit); reaching the generic executor means there is no file
+        # in hand, so the closest honest behaviour is the crash half alone.
         os._exit(KILL_EXIT_CODE)
     if action.mode == "unlink":
         if segment is not None:

@@ -8,6 +8,14 @@ extend`.  :class:`IngestBuffer` does that impedance matching: it stages
 arriving chunks and seals one :meth:`~repro.storage.Table.append` per
 ``batch_rows`` accumulated, leaving any remainder staged until the next
 arrival (or an explicit :meth:`flush`, which seals a partial batch).
+
+Durability note: the buffer seals through the ordinary ``Table.append``
+path, so when the owning session was opened with
+``durability=DurabilityConfig(...)`` every sealed batch is written (and,
+per policy, fsynced) to the write-ahead log *before* its version
+publishes -- sealed means durable, while rows still staged in the buffer
+are not yet: a crash loses at most the unsealed remainder, never a
+published version.
 """
 
 from __future__ import annotations

@@ -483,6 +483,15 @@ class QueryService:
         if request.kind == "ingest":
             table, arrays, _rows = request.payload
             version = self.session.ingest(table, arrays)
+            manager = getattr(self.session, "durability", None)
+            if manager is not None:
+                # The acknowledgement below only happens after this point,
+                # so the client's success is gated on the configured
+                # durability point: the WAL record (and, under ``always``,
+                # its fsync) completed inside ``ingest`` before the version
+                # published.  Stamp what the wait bought.
+                request.trace.durability = manager.config.fsync
+                request.trace.fsync_ms = manager.last_fsync_ms
             return version, self.session.counters() - before, self.session.table_versions()
         plan = self.session.faults
         if plan is not None:

@@ -70,6 +70,14 @@ class RequestTrace:
     #: budget mid-query), or ``"monolithic-breaker"`` (the service's
     #: breaker routed this request to ``shards=1`` up front).
     plane: Optional[str] = None
+    #: Ingest requests only: the fsync policy the acknowledgement waited
+    #: behind (``"always"``/``"batch"``/``"off"``), or ``None`` when the
+    #: session has no durability configured (in-memory acknowledgement).
+    durability: Optional[str] = None
+    #: Ingest requests only: duration of the WAL fsync that made this
+    #: batch durable (``None`` when no fsync happened -- policy ``off``,
+    #: an unfilled ``batch`` window, or no durability at all).
+    fsync_ms: Optional[float] = None
 
     # ------------------------------------------------------------------
     @property
@@ -125,6 +133,8 @@ class RequestTrace:
             "attempts": self.attempts,
             "faults": list(self.faults),
             "plane": self.plane,
+            "durability": self.durability,
+            "fsync_ms": self.fsync_ms,
             "error": self.error,
         }
 

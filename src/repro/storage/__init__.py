@@ -14,6 +14,15 @@ from repro.storage.compression import BitPackedColumn
 from repro.storage.database import Database
 from repro.storage.dictionary import DictionaryEncoder
 from repro.storage.table import Table
+from repro.storage.wal import (
+    DurabilityConfig,
+    DurabilityError,
+    DurabilityManager,
+    DurabilityStats,
+    RecoveryReport,
+    WriteAheadLog,
+    known_durability_dirs,
+)
 
 # Imported last: zonemap folds predicate trees, so it pulls in
 # repro.ssb.queries, whose package neighbours import this package's names
@@ -26,7 +35,14 @@ __all__ = [
     "ColumnZoneStats",
     "Database",
     "DictionaryEncoder",
+    "DurabilityConfig",
+    "DurabilityError",
+    "DurabilityManager",
+    "DurabilityStats",
+    "RecoveryReport",
     "Table",
     "TableZoneMaps",
+    "WriteAheadLog",
     "cluster_by",
+    "known_durability_dirs",
 ]

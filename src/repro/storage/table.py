@@ -54,6 +54,12 @@ class Table:
         self._published: tuple[int, dict[str, Column]] = (0, columns if columns is not None else {})
         self._append_lock = threading.Lock()
         self._frozen = False
+        #: Durability hook: when set (by
+        #: :class:`repro.storage.wal.DurabilityManager`), every non-empty
+        #: append calls ``wal_sink(table, new_version, prepared_arrays)``
+        #: *before* publishing -- the write-ahead contract.  Empty batches
+        #: never reach it, so log records and version bumps stay 1:1.
+        self.wal_sink = None
 
     # ------------------------------------------------------------------
     @property
@@ -83,6 +89,7 @@ class Table:
         snap._published = self._published  # the one atomic read
         snap._append_lock = threading.Lock()
         snap._frozen = True
+        snap.wal_sink = None
         return snap
 
     @classmethod
@@ -107,6 +114,7 @@ class Table:
         table._published = (version, dict(columns))
         table._append_lock = threading.Lock()
         table._frozen = True
+        table.wal_sink = None
         return table
 
     @classmethod
@@ -202,7 +210,16 @@ class Table:
                     incoming = cast
                 prepared[name] = incoming
             if not batch_rows:
+                # Empty batch: no version bump, and deliberately no WAL
+                # record either -- replaying the log must bump versions
+                # exactly as the original appends did, never skip.
                 return version
+            if self.wal_sink is not None:
+                # Write-ahead: the record must be durable (per the
+                # configured fsync policy) before the version flip below
+                # makes the batch visible.  A failure here (injected or
+                # real) aborts the append with nothing published.
+                self.wal_sink(self, version + 1, prepared)
             new_columns = {
                 name: Column(
                     name=name,
@@ -216,6 +233,76 @@ class Table:
             # atomic assignment, and only after every column is complete.
             self._published = (version + 1, new_columns)
             return version + 1
+
+    # ------------------------------------------------------------------
+    def replay_append(self, version: int, arrays: dict) -> bool:
+        """Re-apply one WAL record during recovery; return whether it applied.
+
+        ``arrays`` are the *prepared* batch exactly as logged (already
+        dictionary-encoded, already cast), so this bypasses the encoders
+        and concatenates byte-for-byte.  Records at or below the current
+        version are duplicates -- a checkpoint already covers them, or a
+        crash interrupted the log truncation -- and replay as no-ops, so
+        version numbers never skip across recovery.  A gap (record version
+        more than one ahead) means the log is from a different lineage and
+        is an error, not data.
+        """
+        if self._frozen:
+            raise ValueError(f"table {self.name!r} is a frozen snapshot; cannot replay into it")
+        with self._append_lock:
+            current, columns = self._published
+            if version <= current:
+                return False
+            if version != current + 1:
+                raise ValueError(
+                    f"replay gap on table {self.name!r}: log record is version {version} "
+                    f"but the table is at {current}"
+                )
+            if set(arrays) != set(columns):
+                raise ValueError(
+                    f"replay record for table {self.name!r} has columns {sorted(arrays)}, "
+                    f"table has {sorted(columns)}"
+                )
+            new_columns = {
+                name: Column(
+                    name=name,
+                    values=np.concatenate([column.values, arrays[name]]),
+                    device=column.device,
+                    encoding=column.encoding,
+                )
+                for name, column in columns.items()
+            }
+            self._published = (version, new_columns)
+            return True
+
+    def restore_published(
+        self,
+        version: int,
+        columns: dict[str, Column],
+        dictionaries: dict[str, DictionaryEncoder] | None = None,
+    ) -> None:
+        """Replace the published state wholesale (checkpoint restore).
+
+        Unlike :meth:`append` this may move the version *backwards* in the
+        in-memory sense -- recovery installs the checkpointed frontier and
+        then replays the WAL tail forward.  ``dictionaries`` (when given)
+        are copied *into* the existing encoder objects in place, because
+        snapshots and the session's caches share those objects by identity.
+        """
+        if self._frozen:
+            raise ValueError(f"table {self.name!r} is a frozen snapshot; cannot restore into it")
+        with self._append_lock:
+            if dictionaries:
+                for name, restored in dictionaries.items():
+                    existing = self.dictionaries.get(name)
+                    if existing is None:
+                        self.dictionaries[name] = restored
+                    elif list(existing.values) != list(restored.values):
+                        existing.values.clear()
+                        existing._code_of.clear()
+                        for label in restored.values:
+                            existing.add(label)
+            self._published = (int(version), dict(columns))
 
     # ------------------------------------------------------------------
     def column(self, name: str) -> Column:

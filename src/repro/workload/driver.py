@@ -91,6 +91,7 @@ class WorkloadReport:
                 "seed": spec.seed,
                 "engine": spec.engine,
                 "timeout_s": spec.timeout_s,
+                "ingest_durability": getattr(spec, "ingest_durability", None),
                 "mix": {qclass.name: qclass.weight for qclass in spec.classes},
             },
             "classes": summarize_repetitions(self.repetitions),

@@ -34,6 +34,7 @@ RUN_TABLE_COLUMNS = (
     "duration_s",
     "engine",
     "seed",
+    "ingest_durability",
     "requests",
     "completed",
     "rejected",
@@ -196,6 +197,9 @@ def run_table_rows(spec, repetitions: Sequence[RepetitionResult], run: str) -> l
                 "duration_s": round(result.duration_s, 6),
                 "engine": spec.engine,
                 "seed": spec.seed + result.repetition,
+                # Older specs predate the field; blank means "not recorded",
+                # matching the target_rps/users convention above.
+                "ingest_durability": getattr(spec, "ingest_durability", None) or "",
                 "requests": stats.requests,
                 "completed": stats.completed,
                 "rejected": stats.rejected,

@@ -63,6 +63,13 @@ class WorkloadSpec:
     engine: str = "cpu"
     timeout_s: Optional[float] = None
     warmup: bool = field(default=True, repr=False)
+    #: The durability fsync policy ingest ran under while these latencies
+    #: were measured (``"always"``/``"batch"``/``"off"``), or ``None`` for
+    #: an in-memory session.  Purely descriptive -- the session owns the
+    #: actual :class:`~repro.storage.DurabilityConfig` -- but recorded in
+    #: ``run_table.csv`` and the summary JSON so an SLO number can never be
+    #: quoted without the durability mode it was bought at.
+    ingest_durability: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.classes:
@@ -85,6 +92,15 @@ class WorkloadSpec:
             raise ValueError(f"repetitions must be >= 1, got {self.repetitions}")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.ingest_durability is not None and self.ingest_durability not in (
+            "always",
+            "batch",
+            "off",
+        ):
+            raise ValueError(
+                f"ingest_durability must be 'always', 'batch', or 'off', "
+                f"got {self.ingest_durability!r}"
+            )
 
     # ------------------------------------------------------------------
     @property

@@ -26,21 +26,50 @@ def shm_segment_names() -> set:
     return {name for name in names if name.startswith(SHM_LEAK_PREFIXES)}
 
 
-@pytest.fixture(scope="session", autouse=True)
-def shm_leak_guard():
-    """Fail the run if any test leaked a shared-memory segment.
+def orphaned_durability_tmp() -> set:
+    """``*.tmp`` files left in any durability directory this process used.
 
-    One snapshot of ``/dev/shm`` brackets the whole session -- including
-    the chaos suite, which kills workers and unlinks segments mid-query --
-    so every test gets leak coverage without per-test baseline loops.
-    Segments that predate the run (another process, a crashed earlier run
-    the janitor has not seen yet) are excluded from blame.
+    A ``.tmp`` file is only ever a checkpoint (or WAL rewrite) mid-write;
+    after a test finishes, one still on disk means a writer died and
+    nothing swept it -- recovery's job, so a leftover is a recovery bug,
+    not housekeeping noise.  Directories deleted wholesale by their test
+    (tmp_path teardown) simply stop existing and drop out of the sweep.
+    """
+    from repro.storage.wal import known_durability_dirs
+
+    orphans = set()
+    for directory in known_durability_dirs():
+        try:
+            names = os.listdir(directory)
+        except OSError:  # the test deleted its tmp dir: nothing leaked
+            continue
+        orphans.update(
+            os.path.join(directory, name) for name in names if name.endswith(".tmp")
+        )
+    return orphans
+
+
+@pytest.fixture(scope="session", autouse=True)
+def artifact_leak_guard():
+    """Fail the run if any test leaked a process-external artifact.
+
+    Two sweeps bracket the whole session.  Shared memory: one snapshot of
+    ``/dev/shm`` -- including the chaos suite, which kills workers and
+    unlinks segments mid-query -- so every test gets leak coverage without
+    per-test baseline loops; segments that predate the run (another
+    process, a crashed earlier run the janitor has not seen yet) are
+    excluded from blame.  Durability directories: every directory a
+    :class:`~repro.storage.DurabilityManager` opened during the run must
+    end with no orphaned ``.tmp`` checkpoint files -- crash tests *create*
+    orphans on purpose, so this asserts their recovery half really swept.
     """
     before = shm_segment_names()
     yield
     gc.collect()  # drop any lingering SharedMemory handles before looking
     leaked = shm_segment_names() - before
     assert not leaked, f"tests leaked shared-memory segments: {sorted(leaked)}"
+    orphans = orphaned_durability_tmp()
+    assert not orphans, f"tests leaked orphaned durability temp files: {sorted(orphans)}"
 
 
 @pytest.fixture(scope="session")
